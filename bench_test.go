@@ -1,0 +1,394 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per
+// table and figure (reporting the reproduced headline quantity as a
+// custom metric), plus micro-benchmarks of the substrates. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks use a reduced 8-node prefix of the Table I
+// cluster so a full -bench=. sweep stays fast; the cmd/lmobench tool
+// runs the full 16-node versions.
+package commperf
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/estimate"
+	"repro/internal/experiment"
+	"repro/internal/mpi"
+	"repro/internal/tuned"
+	"repro/internal/vtime"
+)
+
+// benchCfg is the reduced experiment configuration for benchmarks.
+func benchCfg() experiment.Config {
+	return experiment.Config{
+		Cluster:  cluster.Table1().Prefix(8),
+		Profile:  cluster.LAM(),
+		Seed:     7,
+		Root:     0,
+		Sizes:    []int{1 << 10, 8 << 10, 32 << 10, 64 << 10, 128 << 10, 200 << 10},
+		ObsReps:  6,
+		Est:      estimate.Options{Parallel: true},
+		ScanReps: 12,
+	}
+}
+
+// getSeries pulls a named series' Y values out of a report.
+func getSeries(b *testing.B, rep *experiment.Report, name string) []float64 {
+	b.Helper()
+	for _, s := range rep.Series {
+		if s.Name == name {
+			ys := make([]float64, len(s.Points))
+			for i, p := range s.Points {
+				ys[i] = p.Y
+			}
+			return ys
+		}
+	}
+	b.Fatalf("series %q missing", name)
+	return nil
+}
+
+func meanRelErr(obs, pred []float64) float64 {
+	s := 0.0
+	for i := range obs {
+		d := (pred[i] - obs[i]) / obs[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / float64(len(obs))
+}
+
+// BenchmarkTable1Cluster regenerates Table I.
+func BenchmarkTable1Cluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.Table1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables[0].Rows) != 9 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig1LinearScatterHockney regenerates Fig 1 and reports the
+// serial/parallel het-Hockney errors.
+func BenchmarkFig1LinearScatterHockney(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.Fig1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		obs := getSeries(b, rep, "observed")
+		b.ReportMetric(100*meanRelErr(obs, getSeries(b, rep, "het-Hockney serial")), "serial-err-%")
+		b.ReportMetric(100*meanRelErr(obs, getSeries(b, rep, "het-Hockney parallel")), "parallel-err-%")
+	}
+}
+
+// BenchmarkFig2BinomialTree regenerates Fig 2.
+func BenchmarkFig2BinomialTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig2(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3BinomialScatter regenerates Fig 3 and reports the
+// hom/het Hockney errors.
+func BenchmarkFig3BinomialScatter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.Fig3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		obs := getSeries(b, rep, "observed")
+		b.ReportMetric(100*meanRelErr(obs, getSeries(b, rep, "hom-Hockney (eq 3)")), "hom-err-%")
+		b.ReportMetric(100*meanRelErr(obs, getSeries(b, rep, "het-Hockney (eq 1)")), "het-err-%")
+	}
+}
+
+// BenchmarkTable2Predictions regenerates Table II.
+func BenchmarkTable2Predictions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Table2(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4LinearScatterAllModels regenerates Fig 4 and reports
+// each model's error on linear scatter.
+func BenchmarkFig4LinearScatterAllModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.Fig4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		obs := getSeries(b, rep, "observed")
+		b.ReportMetric(100*meanRelErr(obs, getSeries(b, rep, "LMO (eq 4)")), "lmo-err-%")
+		b.ReportMetric(100*meanRelErr(obs, getSeries(b, rep, "het-Hockney")), "hockney-err-%")
+		b.ReportMetric(100*meanRelErr(obs, getSeries(b, rep, "LogGP")), "loggp-err-%")
+		b.ReportMetric(100*meanRelErr(obs, getSeries(b, rep, "PLogP")), "plogp-err-%")
+	}
+}
+
+// BenchmarkFig5LinearGatherAllModels regenerates Fig 5 and reports each
+// model's error on linear gather.
+func BenchmarkFig5LinearGatherAllModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.Fig5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		obs := getSeries(b, rep, "observed (mean)")
+		b.ReportMetric(100*meanRelErr(obs, getSeries(b, rep, "LMO (eq 5)")), "lmo-err-%")
+		b.ReportMetric(100*meanRelErr(obs, getSeries(b, rep, "het-Hockney")), "hockney-err-%")
+	}
+}
+
+// BenchmarkFig6AlgorithmSelection regenerates Fig 6 and reports how
+// many of the decisions each model got right.
+func BenchmarkFig6AlgorithmSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rows [][]string
+		for _, tb := range rep.Tables {
+			if tb.Caption == "algorithm choices" {
+				rows = tb.Rows
+			}
+		}
+		hockney, lmo := 0, 0
+		for _, row := range rows[1:] {
+			if row[2] == row[1] {
+				hockney++
+			}
+			if row[3] == row[1] {
+				lmo++
+			}
+		}
+		b.ReportMetric(float64(hockney), "hockney-correct")
+		b.ReportMetric(float64(lmo), "lmo-correct")
+		b.ReportMetric(float64(len(rows)-1), "decisions")
+	}
+}
+
+// BenchmarkFig7GatherOptimization regenerates Fig 7 and reports the
+// achieved speedup.
+func BenchmarkFig7GatherOptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		native := getSeries(b, rep, "native gather (mean)")
+		opt := getSeries(b, rep, "optimized gather (mean)")
+		sp := 0.0
+		for j := range native {
+			sp += native[j] / opt[j]
+		}
+		b.ReportMetric(sp/float64(len(native)), "speedup-x")
+	}
+}
+
+// BenchmarkEstimationCostSerialVsParallel regenerates the §IV cost
+// comparison and reports the parallel-schedule speedup.
+func BenchmarkEstimationCostSerialVsParallel(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		serialOpt := cfg.Est
+		serialOpt.Parallel = false
+		_, repS, err := estimate.HetHockney(mpi.Config{Cluster: cfg.Cluster, Profile: cfg.Profile, Seed: cfg.Seed}, serialOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, repP, err := estimate.HetHockney(mpi.Config{Cluster: cfg.Cluster, Profile: cfg.Profile, Seed: cfg.Seed}, cfg.Est)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(repS.Cost)/float64(repP.Cost), "speedup-x")
+		b.ReportMetric(repS.Cost.Seconds(), "serial-s")
+		b.ReportMetric(repP.Cost.Seconds(), "parallel-s")
+	}
+}
+
+// BenchmarkIrregularityDetection regenerates the §III threshold
+// detection and reports the found M1/M2.
+func BenchmarkIrregularityDetection(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		g, _, err := estimate.DetectGatherIrregularity(
+			mpi.Config{Cluster: cfg.Cluster, Profile: cfg.Profile, Seed: cfg.Seed},
+			0, estimate.DefaultScanSizes(), cfg.ScanReps, cfg.Est)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(g.M1), "M1-bytes")
+		b.ReportMetric(float64(g.M2), "M2-bytes")
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkEngineEvents measures raw event throughput of the
+// simulation kernel.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := vtime.NewEngine()
+	eng.Go("ticker", func(p *vtime.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimScatter16 measures one simulated 16-rank binomial
+// scatter per iteration.
+func BenchmarkSimScatter16(b *testing.B) {
+	cfg := mpi.Config{Cluster: cluster.Table1(), Profile: cluster.LAM(), Seed: 1}
+	blocks := make([][]byte, 16)
+	for i := range blocks {
+		blocks[i] = make([]byte, 32<<10)
+	}
+	b.ResetTimer()
+	_, err := mpi.Run(cfg, func(r *mpi.Rank) {
+		for i := 0; i < b.N; i++ {
+			r.Scatter(mpi.Binomial, 0, blocks)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLMOPredict measures the analytical prediction itself.
+func BenchmarkLMOPredict(b *testing.B) {
+	cfg := benchCfg()
+	lmo, _, err := estimate.LMOX(mpi.Config{Cluster: cfg.Cluster, Profile: cluster.Ideal(), Seed: 1}, cfg.Est)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		sum += lmo.ScatterBinomial(0, 8, 32<<10)
+	}
+	_ = sum
+}
+
+// BenchmarkLMOEstimation8 measures the full LMO estimation procedure
+// on 8 nodes (parallel schedule).
+func BenchmarkLMOEstimation8(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		_, rep, err := estimate.LMOX(mpi.Config{Cluster: cfg.Cluster, Profile: cfg.Profile, Seed: cfg.Seed}, cfg.Est)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Cost.Seconds(), "virtual-cost-s")
+	}
+}
+
+// BenchmarkAblationLMOVariants regenerates the model ablation and
+// reports the C-misattribution gap.
+func BenchmarkAblationLMOVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Ablation(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlgZooSelection regenerates the four-algorithm selection
+// study.
+func BenchmarkAlgZooSelection(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sizes = []int{1 << 10, 32 << 10, 200 << 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AlgZoo(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTunedVsNativeGather compares the tuned (model-driven) gather
+// against the fixed linear gather in the irregular region, reporting
+// the speedup.
+func BenchmarkTunedVsNativeGather(b *testing.B) {
+	cfg := benchCfg()
+	mcfg := mpi.Config{Cluster: cfg.Cluster, Profile: cfg.Profile, Seed: cfg.Seed}
+	lmo, _, err := estimate.LMOX(mcfg, cfg.Est)
+	if err != nil {
+		b.Fatal(err)
+	}
+	irr, _, err := estimate.DetectGatherIrregularity(mcfg, 0, estimate.DefaultScanSizes(), cfg.ScanReps, cfg.Est)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lmo.Gather = irr
+	n := cfg.Cluster.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tuner := tuned.New(lmo, n)
+		var tNative, tTuned time.Duration
+		resN, err := mpi.Run(mcfg, func(r *mpi.Rank) {
+			block := make([]byte, 30<<10)
+			for rep := 0; rep < 10; rep++ {
+				r.Gather(mpi.Linear, 0, block)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tNative = resN.Duration
+		resT, err := mpi.Run(mcfg, func(r *mpi.Rank) {
+			block := make([]byte, 30<<10)
+			for rep := 0; rep < 10; rep++ {
+				tuner.Gather(r, 0, block)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tTuned = resT.Duration
+		b.ReportMetric(float64(tNative)/float64(tTuned), "speedup-x")
+	}
+}
+
+// BenchmarkScatterAlgorithms measures each algorithm's simulated
+// scatter makespan at 32KB on the 8-node cluster.
+func BenchmarkScatterAlgorithms(b *testing.B) {
+	cfg := benchCfg()
+	mcfg := mpi.Config{Cluster: cfg.Cluster, Profile: cluster.Ideal(), Seed: 1}
+	for _, alg := range mpi.Algorithms() {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			blocks := make([][]byte, cfg.Cluster.N())
+			for i := range blocks {
+				blocks[i] = make([]byte, 32<<10)
+			}
+			var last time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := mpi.Run(mcfg, func(r *mpi.Rank) {
+					r.Scatter(alg, 0, blocks)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Duration
+			}
+			b.ReportMetric(last.Seconds()*1e3, "virtual-ms")
+		})
+	}
+}

@@ -1,0 +1,136 @@
+// Command estimate runs the full estimation tool of the paper's §IV on
+// the simulated cluster: it estimates the Hockney, LogP/LogGP, PLogP
+// and LMO models from communication experiments, detects the gather
+// irregularity region, and prints the recovered parameters next to the
+// simulator's ground truth together with the estimation costs (serial
+// vs parallel schedules).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/estimate"
+	"repro/internal/models"
+	"repro/internal/mpi"
+	"repro/internal/textplot"
+)
+
+func main() {
+	var (
+		mpiName = flag.String("mpi", "lam", "MPI implementation profile: lam, mpich or ideal")
+		seed    = flag.Int64("seed", 1, "TCP randomness seed")
+		nodes   = flag.Int("n", 16, "number of nodes (prefix of the Table I cluster)")
+		serial  = flag.Bool("serial", false, "use the serial experiment schedule")
+		jsonOut = flag.String("json", "", "write the estimated models to this JSON file")
+	)
+	flag.Parse()
+
+	full := cluster.Table1()
+	if *nodes < 3 || *nodes > full.N() {
+		fmt.Fprintf(os.Stderr, "estimate: -n must be in [3, %d]\n", full.N())
+		os.Exit(2)
+	}
+	cl := full.Prefix(*nodes)
+	var prof *cluster.TCPProfile
+	switch *mpiName {
+	case "lam":
+		prof = cluster.LAM()
+	case "mpich":
+		prof = cluster.MPICH()
+	case "ideal":
+		prof = cluster.Ideal()
+	default:
+		fmt.Fprintf(os.Stderr, "estimate: unknown -mpi %q\n", *mpiName)
+		os.Exit(2)
+	}
+	cfg := mpi.Config{Cluster: cl, Profile: prof, Seed: *seed}
+	opt := estimate.Options{Parallel: !*serial}
+
+	fmt.Printf("Estimating communication models on %d nodes (%s, %s schedule)\n\n",
+		*nodes, prof.Name, schedName(opt.Parallel))
+
+	// Heterogeneous Hockney.
+	het, repHet, err := estimate.HetHockney(cfg, opt)
+	check(err)
+	hom := het.Averaged()
+	fmt.Printf("Hockney (averaged homogeneous): %v\n", hom)
+	fmt.Printf("  het-Hockney: %d experiments, %d repetitions, cost %v\n\n",
+		repHet.Experiments, repHet.Repetitions, repHet.Cost.Round(time.Millisecond))
+
+	// LogP / LogGP.
+	logp, loggp, repLG, err := estimate.LogPLogGP(cfg, opt)
+	check(err)
+	fmt.Printf("%v\n%v\n", logp, loggp)
+	fmt.Printf("  cost %v\n\n", repLG.Cost.Round(time.Millisecond))
+
+	// PLogP.
+	plogp, repPL, err := estimate.PLogP(cfg, opt)
+	check(err)
+	fmt.Printf("%v\n  g knots: %v\n  cost %v\n\n", plogp, plogp.G, repPL.Cost.Round(time.Millisecond))
+
+	// LMO.
+	lmo, repLMO, err := estimate.LMOX(cfg, opt)
+	check(err)
+	fmt.Printf("LMO (extended, 6-parameter): %d experiments, %d repetitions, cost %v\n",
+		repLMO.Experiments, repLMO.Repetitions, repLMO.Cost.Round(time.Millisecond))
+	rows := [][]string{{"node", "model", "C_i est", "C_i true", "t_i est", "t_i true"}}
+	for i, nd := range cl.Nodes {
+		rows = append(rows, []string{
+			nd.Name, short(nd.Model),
+			fmt.Sprintf("%.1fµs", lmo.C[i]*1e6), fmt.Sprintf("%.1fµs", float64(nd.C.Microseconds())),
+			fmt.Sprintf("%.2gns/B", lmo.T[i]*1e9), fmt.Sprintf("%.2gns/B", nd.T*1e9),
+		})
+	}
+	fmt.Println(textplot.Table(rows))
+	l01 := cl.Links[0][1]
+	fmt.Printf("link (0,1): L est %.1fµs (true %.1fµs), β est %.3g B/s (true %.3g B/s)\n\n",
+		lmo.L[0][1]*1e6, float64(l01.L.Microseconds()), lmo.Beta[0][1], l01.Beta)
+
+	// Irregularity detection.
+	irr, repIrr, err := estimate.DetectGatherIrregularity(cfg, 0, estimate.DefaultScanSizes(), 20, opt)
+	check(err)
+	if irr.Valid() {
+		fmt.Printf("gather irregularity: M1=%d B (true %d), M2=%d B (true %d)\n",
+			irr.M1, prof.M1, irr.M2, prof.M2)
+		fmt.Printf("  escalation modes: %v, per-op probability %.2f→%.2f\n", irr.EscModes, irr.ProbLow, irr.ProbHigh)
+	} else {
+		fmt.Println("gather irregularity: none detected")
+	}
+	fmt.Printf("  scan cost %v\n", repIrr.Cost.Round(time.Millisecond))
+
+	total := repHet.Cost + repLG.Cost + repPL.Cost + repLMO.Cost + repIrr.Cost
+	fmt.Printf("\ntotal estimation cost (virtual time on the cluster): %v\n", total.Round(time.Millisecond))
+
+	if *jsonOut != "" {
+		lmo.Gather = irr
+		data, err := models.NewModelFile(hom, het, logp, loggp, plogp, lmo).Marshal()
+		check(err)
+		check(os.WriteFile(*jsonOut, data, 0o644))
+		fmt.Printf("models written to %s\n", *jsonOut)
+	}
+}
+
+func short(s string) string {
+	if len(s) > 28 {
+		return s[:28]
+	}
+	return s
+}
+
+func schedName(parallel bool) string {
+	if parallel {
+		return "parallel"
+	}
+	return "serial"
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "estimate: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,138 @@
+// Command lmobench reproduces the paper's evaluation: it runs any of
+// the figure/table experiments on the simulated cluster and prints the
+// observation and model-prediction series as text charts and tables,
+// optionally exporting CSV.
+//
+// Usage:
+//
+//	lmobench -exp fig4                 # one experiment
+//	lmobench -exp all                  # the whole evaluation
+//	lmobench -exp fig5 -mpi mpich      # under the MPICH profile
+//	lmobench -exp fig4 -csv fig4.csv   # export the series
+//	lmobench -list                     # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (fig1..fig7, table1, table2, estcost, irreg) or 'all'")
+		mpiName = flag.String("mpi", "lam", "MPI implementation profile: lam, mpich or ideal")
+		seed    = flag.Int64("seed", 1, "TCP randomness seed")
+		root    = flag.Int("root", 0, "collective root rank")
+		reps    = flag.Int("reps", 10, "repetitions per observation point")
+		csvPath = flag.String("csv", "", "write the experiment's series to this CSV file")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		hetLink = flag.Bool("hetlinks", false, "use per-pair link variation (Table1Hetero)")
+		clPath  = flag.String("cluster", "", "JSON cluster description to use instead of Table I")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiment.Runners() {
+			fmt.Printf("  %-8s %s\n", r.ID, r.Brief)
+		}
+		return
+	}
+
+	cfg := experiment.Default()
+	cfg.Seed = *seed
+	cfg.Root = *root
+	cfg.ObsReps = *reps
+	if *hetLink {
+		cfg.Cluster = cluster.Table1Hetero()
+	}
+	if *clPath != "" {
+		data, err := os.ReadFile(*clPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+			os.Exit(2)
+		}
+		cl, err := cluster.FromJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Cluster = cl
+	}
+	switch *mpiName {
+	case "lam":
+		cfg.Profile = cluster.LAM()
+	case "mpich":
+		cfg.Profile = cluster.MPICH()
+	case "ideal":
+		cfg.Profile = cluster.Ideal()
+	default:
+		fmt.Fprintf(os.Stderr, "lmobench: unknown -mpi %q (lam, mpich, ideal)\n", *mpiName)
+		os.Exit(2)
+	}
+
+	runners := experiment.Runners()
+	if *exp != "all" {
+		r := experiment.Lookup(*exp)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "lmobench: unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiment.Runner{*r}
+	}
+
+	// Experiments are independent simulations; run them concurrently
+	// and print the reports in catalogue order.
+	type outcome struct {
+		rep  *experiment.Report
+		err  error
+		took time.Duration
+	}
+	results := make([]outcome, len(runners))
+	var wg sync.WaitGroup
+	for idx := range runners {
+		idx := idx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			rep, err := runners[idx].Run(cfg)
+			results[idx] = outcome{rep: rep, err: err, took: time.Since(start)}
+		}()
+	}
+	wg.Wait()
+
+	for i, r := range runners {
+		res := results[i]
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %s: %v\n", r.ID, res.err)
+			os.Exit(1)
+		}
+		rep := res.rep
+		experiment.Render(os.Stdout, rep)
+		fmt.Printf("(%s completed in %v wall-clock)\n\n", r.ID, res.took.Round(time.Millisecond))
+
+		if *csvPath != "" && len(rep.Series) > 0 {
+			path := *csvPath
+			if *exp == "all" {
+				path = rep.ID + "_" + path
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := experiment.WriteCSV(f, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("(series written to %s)\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Command predict compares model predictions of one collective
+// operation against the observation on the simulated cluster: it
+// estimates the heterogeneous Hockney, LogGP, PLogP and LMO models,
+// predicts the requested operation, runs it, and prints the results
+// side by side — the per-operation view of the paper's Figs 4 and 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/models"
+	"repro/internal/mpi"
+	"repro/internal/textplot"
+)
+
+func main() {
+	var (
+		opName  = flag.String("op", "scatter", "collective: scatter or gather")
+		algName = flag.String("alg", "linear", "algorithm: linear or binomial")
+		size    = flag.Int("m", 64<<10, "block size in bytes")
+		root    = flag.Int("root", 0, "root rank")
+		mpiName = flag.String("mpi", "lam", "MPI implementation profile: lam, mpich or ideal")
+		seed    = flag.Int64("seed", 1, "TCP randomness seed")
+		reps    = flag.Int("reps", 10, "observation repetitions")
+		modPath = flag.String("models", "", "load estimated models from this JSON file (from cmd/estimate -json) instead of re-estimating")
+	)
+	flag.Parse()
+
+	var prof *cluster.TCPProfile
+	switch *mpiName {
+	case "lam":
+		prof = cluster.LAM()
+	case "mpich":
+		prof = cluster.MPICH()
+	case "ideal":
+		prof = cluster.Ideal()
+	default:
+		fail("unknown -mpi %q", *mpiName)
+	}
+	var alg mpi.Alg
+	switch *algName {
+	case "linear":
+		alg = mpi.Linear
+	case "binomial":
+		alg = mpi.Binomial
+	default:
+		fail("unknown -alg %q", *algName)
+	}
+	var op experiment.CollectiveOp
+	switch *opName {
+	case "scatter":
+		op = experiment.Scatter
+	case "gather":
+		op = experiment.Gather
+	default:
+		fail("unknown -op %q", *opName)
+	}
+
+	cfg := experiment.Default()
+	cfg.Profile = prof
+	cfg.Seed = *seed
+	cfg.Root = *root
+	cfg.ObsReps = *reps
+	n := cfg.Cluster.N()
+
+	var ms *experiment.ModelSet
+	if *modPath != "" {
+		data, err := os.ReadFile(*modPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		mf, err := models.UnmarshalModelFile(data)
+		if err != nil {
+			fail("%v", err)
+		}
+		plogp, err := mf.GetPLogP()
+		if err != nil {
+			fail("%v", err)
+		}
+		ms = &experiment.ModelSet{
+			Hom: mf.Hockney, Het: mf.GetHetHockney(),
+			LogP: mf.LogP, LogGP: mf.LogGP, PLogP: plogp, LMO: mf.GetLMO(),
+		}
+		if ms.Het == nil || ms.LMO == nil || ms.LogGP == nil || ms.PLogP == nil {
+			fail("model file %s is missing required models; regenerate with cmd/estimate -json", *modPath)
+		}
+		fmt.Printf("Loaded models from %s for the %d-node Table I cluster (%s)\n", *modPath, n, prof.Name)
+	} else {
+		fmt.Printf("Estimating models on the %d-node Table I cluster (%s)...\n", n, prof.Name)
+		var err error
+		ms, err = experiment.EstimateAll(cfg)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+
+	cfg.Sizes = []int{*size}
+	obs, err := experiment.Observe(cfg, op, alg)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	type pred struct {
+		name string
+		v    float64
+	}
+	var preds []pred
+	switch {
+	case op == experiment.Scatter && alg == mpi.Linear:
+		preds = []pred{
+			{"het-Hockney", ms.Het.ScatterLinear(*root, n, *size)},
+			{"LogGP", ms.LogGP.ScatterLinear(*root, n, *size)},
+			{"PLogP", ms.PLogP.ScatterLinear(*root, n, *size)},
+			{"LMO", ms.LMO.ScatterLinear(*root, n, *size)},
+		}
+	case op == experiment.Scatter && alg == mpi.Binomial:
+		preds = []pred{
+			{"hom-Hockney", ms.Hom.ScatterBinomial(*root, n, *size)},
+			{"het-Hockney", ms.Het.ScatterBinomial(*root, n, *size)},
+			{"LMO", ms.LMO.ScatterBinomial(*root, n, *size)},
+		}
+	case op == experiment.Gather && alg == mpi.Linear:
+		preds = []pred{
+			{"het-Hockney", ms.Het.GatherLinear(*root, n, *size)},
+			{"LogGP", ms.LogGP.GatherLinear(*root, n, *size)},
+			{"PLogP", ms.PLogP.GatherLinear(*root, n, *size)},
+			{"LMO", ms.LMO.GatherLinear(*root, n, *size)},
+		}
+	default:
+		preds = []pred{
+			{"het-Hockney", ms.Het.GatherBinomial(*root, n, *size)},
+			{"LMO", ms.LMO.GatherBinomial(*root, n, *size)},
+		}
+	}
+
+	rows := [][]string{{"source", "time (s)", "vs observed"}}
+	rows = append(rows, []string{"observed (mean of " + fmt.Sprint(*reps) + ")", fmt.Sprintf("%.6f", obs.Mean[0]), "—"})
+	for _, p := range preds {
+		rows = append(rows, []string{p.name, fmt.Sprintf("%.6f", p.v),
+			fmt.Sprintf("%+.1f%%", 100*(p.v-obs.Mean[0])/obs.Mean[0])})
+	}
+	fmt.Printf("\n%s %s of %d-byte blocks on %d nodes (root %d):\n\n", *algName, *opName, *size, n, *root)
+	fmt.Println(textplot.Table(rows))
+
+	if op == experiment.Gather && alg == mpi.Linear && ms.LMO.Gather.Valid() {
+		lo, hi := ms.LMO.GatherLinearBand(*root, n, *size)
+		if hi > lo {
+			fmt.Printf("LMO escalation band at this size: [%.6f, %.6f] s (observed worst rep %.6f)\n",
+				lo, hi, obs.Max[0])
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "predict: "+format+"\n", args...)
+	os.Exit(2)
+}

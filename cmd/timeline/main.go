@@ -1,0 +1,114 @@
+// Command timeline visualizes one collective operation on the
+// simulated cluster as per-rank swimlanes, making the paper's core
+// structural claims visible: the root of a linear scatter serializes
+// its send processing while the wires run in parallel; a gather above
+// M2 serializes on the root's ingress; a binomial tree pipelines down
+// the relay chain.
+//
+// Usage:
+//
+//	timeline -op scatter -alg linear -m 32768
+//	timeline -op gather -alg binomial -m 131072 -mpi lam -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/timeline"
+)
+
+func main() {
+	var (
+		opName  = flag.String("op", "scatter", "collective: scatter, gather or bcast")
+		algName = flag.String("alg", "linear", "algorithm: linear, binomial, binary or chain")
+		size    = flag.Int("m", 32<<10, "block size in bytes")
+		nodes   = flag.Int("n", 8, "number of nodes (prefix of the Table I cluster)")
+		root    = flag.Int("root", 0, "root rank")
+		mpiName = flag.String("mpi", "ideal", "TCP profile: lam, mpich or ideal")
+		seed    = flag.Int64("seed", 1, "TCP randomness seed")
+		width   = flag.Int("w", 100, "timeline width in characters")
+		verbose = flag.Bool("v", false, "also dump the raw event log")
+	)
+	flag.Parse()
+
+	full := cluster.Table1()
+	if *nodes < 2 || *nodes > full.N() {
+		fail("-n must be in [2, %d]", full.N())
+	}
+	cl := full.Prefix(*nodes)
+	var prof *cluster.TCPProfile
+	switch *mpiName {
+	case "lam":
+		prof = cluster.LAM()
+	case "mpich":
+		prof = cluster.MPICH()
+	case "ideal":
+		prof = cluster.Ideal()
+	default:
+		fail("unknown -mpi %q", *mpiName)
+	}
+	var alg mpi.Alg
+	switch *algName {
+	case "linear":
+		alg = mpi.Linear
+	case "binomial":
+		alg = mpi.Binomial
+	case "binary":
+		alg = mpi.Binary
+	case "chain":
+		alg = mpi.Chain
+	default:
+		fail("unknown -alg %q", *algName)
+	}
+
+	var b timeline.Builder
+	installed := false
+	_, err := mpi.Run(mpi.Config{Cluster: cl, Profile: prof, Seed: *seed}, func(r *mpi.Rank) {
+		if !installed {
+			r.Network().SetTracer(b.Collect)
+			installed = true
+		}
+		r.HardSync()
+		switch *opName {
+		case "scatter":
+			blocks := make([][]byte, r.Size())
+			for i := range blocks {
+				blocks[i] = make([]byte, *size)
+			}
+			r.Scatter(alg, *root, blocks)
+		case "gather":
+			r.Gather(alg, *root, make([]byte, *size))
+		case "bcast":
+			var data []byte
+			if r.Rank() == *root {
+				data = make([]byte, *size)
+			}
+			r.Bcast(*root, data)
+		default:
+			panic(fmt.Sprintf("unknown op %q", *opName))
+		}
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("%s %s of %d-byte blocks, %d nodes, root %d, %s profile:\n\n",
+		*algName, *opName, *size, *nodes, *root, prof.Name)
+	fmt.Print(timeline.Render(b.Events(), *nodes, *width))
+
+	if *verbose {
+		fmt.Println("\nevent log:")
+		for _, ev := range b.Events() {
+			fmt.Println("  " + ev.String())
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "timeline: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,340 @@
+// Package commperf is a library for modelling, measuring and
+// optimizing the communication performance of message-passing programs
+// on switched computational clusters. It reproduces, end to end, the
+// system of Lastovetsky, Rychkov and O'Flynn, "Revisiting communication
+// performance models for computational clusters" (IPPS 2009):
+//
+//   - a deterministic discrete-event simulator of a single-switch
+//     cluster with heterogeneous processors and TCP-layer
+//     irregularities (the stand-in for the paper's 16-node testbed);
+//   - an MPI-like SPMD layer with linear and binomial collectives;
+//   - the model zoo — Hockney (homogeneous and heterogeneous), LogP,
+//     LogGP, PLogP, and the LMO model with its six-parameter extension
+//     that fully separates the constant and variable contributions of
+//     processors and network;
+//   - the estimation procedures (round-trips, one-to-two triplet
+//     experiments, saturations, adaptive PLogP sizes; serial and
+//     parallel schedules) and the empirical gather-irregularity
+//     detection;
+//   - model-based optimization: collective-algorithm selection, gather
+//     splitting and binomial-tree mapping;
+//   - an experiment harness regenerating every figure and table of the
+//     paper's evaluation.
+//
+// The quickest route: build a System over a cluster description,
+// estimate a model from timing experiments, predict, then verify
+// against observation.
+//
+//	sys := commperf.NewSystem(commperf.Table1(), commperf.LAM(), 1)
+//	lmo, _, err := sys.EstimateLMO()
+//	...
+//	pred := lmo.ScatterLinear(0, 16, 64<<10)
+package commperf
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/estimate"
+	"repro/internal/experiment"
+	"repro/internal/models"
+	"repro/internal/mpi"
+	"repro/internal/mpib"
+	"repro/internal/optimize"
+	"repro/internal/stats"
+	"repro/internal/tuned"
+)
+
+// Cluster descriptions and TCP profiles.
+type (
+	// Cluster describes a single-switch machine: nodes and links.
+	Cluster = cluster.Cluster
+	// NodeSpec is one processor's constant (C) and per-byte (T) cost.
+	NodeSpec = cluster.NodeSpec
+	// LinkSpec is one link's latency (L) and rate (Beta).
+	LinkSpec = cluster.LinkSpec
+	// TCPProfile models an MPI implementation's TCP-layer behaviour.
+	TCPProfile = cluster.TCPProfile
+)
+
+// Models.
+type (
+	// Predictor is any model able to predict point-to-point and
+	// collective execution times.
+	Predictor = models.Predictor
+	// Hockney is the homogeneous Hockney model (α, β).
+	Hockney = models.Hockney
+	// HetHockney is the per-pair heterogeneous Hockney model.
+	HetHockney = models.HetHockney
+	// LogP is the Culler et al. model.
+	LogP = models.LogP
+	// LogGP adds the gap-per-byte G for long messages.
+	LogGP = models.LogGP
+	// PLogP is the parameterized LogP model with size-dependent
+	// piecewise-linear parameters.
+	PLogP = models.PLogP
+	// LMO is the paper's extended six-parameter heterogeneous model.
+	LMO = models.LMOX
+	// LMOOriginal is the five-parameter LMO of the earlier papers,
+	// kept as the ablation baseline.
+	LMOOriginal = models.LMO
+	// GatherEmpirical carries the empirical linear-gather parameters
+	// (M1, M2, escalation statistics).
+	GatherEmpirical = models.GatherEmpirical
+	// TreePredictor is a model able to predict collectives over
+	// arbitrary communication trees.
+	TreePredictor = models.TreePredictor
+	// ModelFile is the JSON representation of estimated models.
+	ModelFile = models.ModelFile
+)
+
+// Message passing.
+type (
+	// Rank is the per-process handle of a simulated SPMD job.
+	Rank = mpi.Rank
+	// Comm is a sub-communicator over a subset of ranks.
+	Comm = mpi.Comm
+	// Alg selects a collective algorithm (Linear, Binomial, Binary or
+	// Chain).
+	Alg = mpi.Alg
+	// JobResult reports a completed job's duration and traffic.
+	JobResult = mpi.Result
+)
+
+// Collective algorithms.
+const (
+	Linear   = mpi.Linear
+	Binomial = mpi.Binomial
+	Binary   = mpi.Binary
+	Chain    = mpi.Chain
+)
+
+// Algorithms lists every collective algorithm.
+var Algorithms = mpi.Algorithms
+
+// AnySource matches any sender in Rank.Recv.
+const AnySource = mpi.AnySource
+
+// AnyTag matches any tag in Rank.Recv.
+const AnyTag = mpi.AnyTag
+
+// Measurement and estimation.
+type (
+	// MeasureOptions controls the adaptive repetition loop (confidence
+	// level, relative error, repetition bounds).
+	MeasureOptions = mpib.Options
+	// Measurement is an adaptive measurement's statistics.
+	Measurement = mpib.Measurement
+	// EstimateOptions controls the estimation experiments (message
+	// size, parallel scheduling, saturation length).
+	EstimateOptions = estimate.Options
+	// EstimateReport summarizes an estimation's cost.
+	EstimateReport = estimate.Report
+	// Summary is a sample summary with a Student-t confidence interval.
+	Summary = stats.Summary
+)
+
+// Experiments.
+type (
+	// ExperimentConfig parameterizes a figure/table reproduction.
+	ExperimentConfig = experiment.Config
+	// ExperimentReport is a reproduced figure or table.
+	ExperimentReport = experiment.Report
+	// ExperimentRunner is a named reproduction entry point.
+	ExperimentRunner = experiment.Runner
+)
+
+// Cluster builders.
+var (
+	// Table1 builds the paper's 16-node heterogeneous cluster.
+	Table1 = cluster.Table1
+	// Table1Hetero additionally varies the link rates.
+	Table1Hetero = cluster.Table1Hetero
+	// Homogeneous builds an n-node uniform cluster.
+	Homogeneous = cluster.Homogeneous
+	// LAM is the LAM 7.1.3 TCP profile (M1=4 KB, M2=65 KB, 64 KB leap).
+	LAM = cluster.LAM
+	// MPICH is the MPICH 1.2.7 TCP profile (M1=3 KB, M2=125 KB).
+	MPICH = cluster.MPICH
+	// Ideal is a profile without TCP irregularities.
+	Ideal = cluster.Ideal
+)
+
+// Experiment harness entry points.
+var (
+	// ExperimentRunners lists every figure/table reproduction.
+	ExperimentRunners = experiment.Runners
+	// LookupExperiment finds a runner by id ("fig1" … "irreg").
+	LookupExperiment = experiment.Lookup
+	// RenderReport writes a report as text (chart + tables + notes).
+	RenderReport = experiment.Render
+	// WriteReportCSV exports a report's series as CSV.
+	WriteReportCSV = experiment.WriteCSV
+	// DefaultExperimentConfig is the paper's setting (Table I + LAM).
+	DefaultExperimentConfig = experiment.Default
+)
+
+// Optimization helpers.
+var (
+	// SelectScatterAlg picks the faster predicted scatter algorithm.
+	SelectScatterAlg = optimize.SelectScatterAlg
+	// SelectGatherAlg picks the faster predicted gather algorithm.
+	SelectGatherAlg = optimize.SelectGatherAlg
+	// OptimizedGather splits medium messages to dodge escalations.
+	OptimizedGather = optimize.OptimizedGather
+	// OptimizedGatherv is the variable-size-block version.
+	OptimizedGatherv = optimize.OptimizedGatherv
+	// MapBinomialTree optimizes the processor-to-tree-node mapping.
+	MapBinomialTree = optimize.MapBinomialTree
+	// AlgCrossover locates the predicted algorithm-switching size.
+	AlgCrossover = optimize.Crossover
+	// SelectScatterAlgAmong picks the fastest predicted algorithm out
+	// of the whole zoo (linear, binomial, binary, chain).
+	SelectScatterAlgAmong = optimize.SelectScatterAlgAmong
+	// SelectGatherAlgAmong does the same for gather, honouring the
+	// empirical irregularity branches of linear gather.
+	SelectGatherAlgAmong = optimize.SelectGatherAlgAmong
+	// BestScatterRoot finds the root minimizing predicted scatter time.
+	BestScatterRoot = optimize.BestScatterRoot
+	// BestGatherRoot finds the root minimizing predicted gather time.
+	BestGatherRoot = optimize.BestGatherRoot
+)
+
+// Tuned collectives (model-driven, HeteroMPI-style).
+type (
+	// Tuner provides drop-in collectives that pick algorithms and
+	// apply gather splitting by consulting an estimated model.
+	Tuner = tuned.Tuner
+	// TunerStats counts a tuner's decisions.
+	TunerStats = tuned.Stats
+)
+
+var (
+	// NewTuner builds a tuner over a tree-capable model for n ranks.
+	NewTuner = tuned.New
+	// ProportionalCounts splits a byte total across processors in
+	// inverse proportion to their LMO per-byte costs.
+	ProportionalCounts = tuned.ProportionalCounts
+)
+
+// Model persistence.
+var (
+	// NewModelFile bundles estimated models for JSON serialization.
+	NewModelFile = models.NewModelFile
+	// UnmarshalModelFile reconstructs models from JSON.
+	UnmarshalModelFile = models.UnmarshalModelFile
+)
+
+// System ties a cluster, a TCP profile and a seed together: the
+// simulated machine every measurement and estimation runs against.
+type System struct {
+	cfg mpi.Config
+}
+
+// NewSystem builds a system over the cluster with the given TCP
+// profile (nil for ideal) and randomness seed.
+func NewSystem(cl *Cluster, prof *TCPProfile, seed int64) *System {
+	return &System{cfg: mpi.Config{Cluster: cl, Profile: prof, Seed: seed}}
+}
+
+// Cluster returns the system's cluster description.
+func (s *System) Cluster() *Cluster { return s.cfg.Cluster }
+
+// Run executes an SPMD body on every rank of the simulated cluster.
+func (s *System) Run(body func(r *Rank)) (JobResult, error) {
+	return mpi.Run(s.cfg, body)
+}
+
+// Measure runs op collectively with the adaptive repetition loop and
+// root-side timing on the designated rank; see mpib.Measure. It must be
+// called from inside a Run body.
+func Measure(r *Rank, designated int, opts MeasureOptions, op func()) Measurement {
+	return mpib.Measure(r, designated, mpib.RootTiming, opts, op)
+}
+
+// MeasureMakespan is Measure with max timing (global makespan).
+func MeasureMakespan(r *Rank, opts MeasureOptions, op func()) Measurement {
+	return mpib.Measure(r, 0, mpib.MaxTiming, opts, op)
+}
+
+// EstimateLMO estimates the extended LMO model (round-trips plus
+// one-to-two triplet experiments, eqs 6–12) with a parallel schedule,
+// and attaches the detected gather irregularity.
+func (s *System) EstimateLMO(opts ...EstimateOptions) (*LMO, EstimateReport, error) {
+	opt := pickOpt(opts)
+	m, rep, err := estimate.LMOX(s.cfg, opt)
+	if err != nil {
+		return nil, rep, err
+	}
+	irr, irrRep, err := estimate.DetectGatherIrregularity(
+		s.cfg, 0, estimate.DefaultScanSizes(), 20, opt)
+	if err != nil {
+		return nil, rep, err
+	}
+	m.Gather = irr
+	rep.Cost += irrRep.Cost
+	rep.Experiments += irrRep.Experiments
+	rep.Repetitions += irrRep.Repetitions
+	return m, rep, nil
+}
+
+// EstimateLMOOriginal estimates the original five-parameter LMO model
+// (the ablation baseline whose constants conflate the network latency).
+func (s *System) EstimateLMOOriginal(opts ...EstimateOptions) (*LMOOriginal, EstimateReport, error) {
+	return estimate.LMOOriginal(s.cfg, pickOpt(opts))
+}
+
+// EstimateHetHockney estimates the heterogeneous Hockney model.
+func (s *System) EstimateHetHockney(opts ...EstimateOptions) (*HetHockney, EstimateReport, error) {
+	return estimate.HetHockney(s.cfg, pickOpt(opts))
+}
+
+// EstimateHockney estimates the homogeneous Hockney model by the
+// series method.
+func (s *System) EstimateHockney(opts ...EstimateOptions) (*Hockney, EstimateReport, error) {
+	h, rep, err := estimate.HomHockney(s.cfg, pickOpt(opts), nil)
+	return h, rep, err
+}
+
+// EstimateLogPLogGP estimates the LogP and LogGP models.
+func (s *System) EstimateLogPLogGP(opts ...EstimateOptions) (*LogP, *LogGP, EstimateReport, error) {
+	return estimate.LogPLogGP(s.cfg, pickOpt(opts))
+}
+
+// EstimatePLogP estimates the parameterized LogP model with adaptive
+// message sizes.
+func (s *System) EstimatePLogP(opts ...EstimateOptions) (*PLogP, EstimateReport, error) {
+	return estimate.PLogP(s.cfg, pickOpt(opts))
+}
+
+// DetectGatherIrregularity scans linear gather for the empirical
+// region (M1, M2) and escalation statistics.
+func (s *System) DetectGatherIrregularity(root int, opts ...EstimateOptions) (GatherEmpirical, EstimateReport, error) {
+	return estimate.DetectGatherIrregularity(
+		s.cfg, root, estimate.DefaultScanSizes(), 20, pickOpt(opts))
+}
+
+// Experiment runs one of the paper's figure/table reproductions on
+// this system.
+func (s *System) Experiment(id string) (*ExperimentReport, error) {
+	r := experiment.Lookup(id)
+	if r == nil {
+		return nil, errUnknownExperiment(id)
+	}
+	cfg := experiment.Default()
+	cfg.Cluster = s.cfg.Cluster
+	cfg.Profile = s.cfg.Profile
+	cfg.Seed = s.cfg.Seed
+	return r.Run(cfg)
+}
+
+func pickOpt(opts []EstimateOptions) EstimateOptions {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return EstimateOptions{Parallel: true}
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "commperf: unknown experiment " + string(e) + " (see ExperimentRunners)"
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// clusterJSON is the on-disk form of a cluster description, letting
+// tool users define their own machines instead of the built-in
+// Table I. Durations are nanoseconds, rates bytes/second.
+type clusterJSON struct {
+	Nodes []nodeJSON   `json:"nodes"`
+	Links [][]linkJSON `json:"links,omitempty"`
+	// Uniform link applied to every pair when Links is omitted.
+	UniformLink *linkJSON `json:"uniform_link,omitempty"`
+}
+
+type nodeJSON struct {
+	Name  string  `json:"name,omitempty"`
+	Model string  `json:"model,omitempty"`
+	OS    string  `json:"os,omitempty"`
+	CNs   int64   `json:"c_ns"`        // fixed processing delay, ns
+	T     float64 `json:"t_sec_per_b"` // per-byte delay, s/B
+}
+
+type linkJSON struct {
+	LNs  int64   `json:"l_ns"`         // latency, ns
+	Beta float64 `json:"beta_b_per_s"` // rate, B/s
+}
+
+// MarshalJSON renders the cluster (full link matrix).
+func (c *Cluster) MarshalJSON() ([]byte, error) {
+	out := clusterJSON{}
+	for _, nd := range c.Nodes {
+		out.Nodes = append(out.Nodes, nodeJSON{
+			Name: nd.Name, Model: nd.Model, OS: nd.OS,
+			CNs: nd.C.Nanoseconds(), T: nd.T,
+		})
+	}
+	for _, row := range c.Links {
+		var r []linkJSON
+		for _, l := range row {
+			r = append(r, linkJSON{LNs: l.L.Nanoseconds(), Beta: l.Beta})
+		}
+		out.Links = append(out.Links, r)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// FromJSON parses a cluster description. Links may be given as a full
+// n×n matrix or as a single uniform_link applied to every pair.
+func FromJSON(data []byte) (*Cluster, error) {
+	var in clusterJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("cluster: parsing: %w", err)
+	}
+	if len(in.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes in description")
+	}
+	c := &Cluster{}
+	for i, nd := range in.Nodes {
+		name := nd.Name
+		if name == "" {
+			name = fmt.Sprintf("node%02d", i)
+		}
+		c.Nodes = append(c.Nodes, NodeSpec{
+			Name: name, Model: nd.Model, OS: nd.OS,
+			C: time.Duration(nd.CNs), T: nd.T,
+		})
+	}
+	n := len(c.Nodes)
+	switch {
+	case len(in.Links) > 0:
+		if len(in.Links) != n {
+			return nil, fmt.Errorf("cluster: link matrix has %d rows for %d nodes", len(in.Links), n)
+		}
+		for i, row := range in.Links {
+			if len(row) != n {
+				return nil, fmt.Errorf("cluster: link row %d has %d entries", i, len(row))
+			}
+			var r []LinkSpec
+			for _, l := range row {
+				r = append(r, LinkSpec{L: time.Duration(l.LNs), Beta: l.Beta})
+			}
+			c.Links = append(c.Links, r)
+		}
+	case in.UniformLink != nil:
+		c.Links = uniformLinks(n, LinkSpec{L: time.Duration(in.UniformLink.LNs), Beta: in.UniformLink.Beta})
+	default:
+		return nil, fmt.Errorf("cluster: description needs links or uniform_link")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,259 @@
+package estimate
+
+import (
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/mpib"
+	"repro/internal/stats"
+)
+
+// Options configure an estimation procedure.
+type Options struct {
+	// Mpib controls the per-experiment repetition loop. The paper's
+	// defaults (95% confidence, 2.5% relative error) apply when zero.
+	Mpib mpib.Options
+	// MsgSize is the non-empty message size used by the variable-part
+	// experiments. It must avoid the platform's irregularity regions;
+	// the paper selects a medium size after a preliminary scan.
+	// Default 32 KiB.
+	MsgSize int
+	// Parallel schedules non-overlapping experiments of one round
+	// concurrently, the paper's estimation-time optimization. Serial
+	// otherwise.
+	Parallel bool
+	// SaturationCount is the number of back-to-back messages in the
+	// gap (saturation) experiment. Default 16.
+	SaturationCount int
+	// TripletCoverage, when positive, samples the one-to-two
+	// experiments so that every processor participates in at least
+	// this many triplets instead of running all C(n,3) — the
+	// runtime-estimation trade-off of §IV. Zero runs the full set.
+	TripletCoverage int
+	// HockneySizes are the round-trip message sizes of the Hockney
+	// series estimation (per-pair least-squares line through them).
+	// The default spans 0–160 KiB so TCP-layer effects such as the
+	// large-message leap are absorbed into the fitted line, as the
+	// paper's series method does.
+	HockneySizes []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MsgSize == 0 {
+		o.MsgSize = 32 << 10
+	}
+	if o.SaturationCount == 0 {
+		o.SaturationCount = 16
+	}
+	if len(o.HockneySizes) == 0 {
+		o.HockneySizes = []int{0, 32 << 10, 96 << 10, 160 << 10}
+	}
+	return o
+}
+
+// Report summarizes an estimation procedure's cost, the paper's §IV
+// efficiency concern.
+type Report struct {
+	Cost        time.Duration // total virtual time the estimation took
+	Experiments int           // number of distinct experiments performed
+	Repetitions int           // total repetitions across experiments
+}
+
+// Exp is one experiment of a round: Body runs on every rank (inactive
+// ranks do nothing inside it) and the sample is the initiator's local
+// elapsed time, unless the body assigns a custom sample through Custom.
+type Exp struct {
+	Initiator int
+	Body      func(r *mpi.Rank)
+	// Custom, when non-nil, replaces the elapsed time as the sample:
+	// the initiator's body writes a sub-interval (e.g. only the send)
+	// there. The pointer is rank-local — every rank constructs its own
+	// Exp — so measureRound publishes the initiator's value through the
+	// shared per-rank slot before anyone reads it.
+	Custom *float64
+}
+
+// measureRound runs a set of experiments on mutually disjoint processor
+// groups simultaneously, repeating until every experiment's
+// initiator-side sample has converged per opts, and returns one Summary
+// per experiment (identical on every rank).
+func measureRound(r *mpi.Rank, opts mpib.Options, exps []Exp) []stats.Summary {
+	opts = withMpibDefaults(opts)
+	n := r.Size()
+
+	cell := r.SharedCell()
+	if cell.V == nil {
+		cell.V = make([]float64, n)
+	}
+	locals := cell.V.([]float64)
+
+	samples := make([][]float64, len(exps))
+	for {
+		r.HardSync()
+		t0 := r.Now()
+		for _, e := range exps {
+			e.Body(r)
+		}
+		locals[r.Rank()] = (r.Now() - t0).Seconds()
+		// An initiator with a custom sub-interval publishes it instead
+		// (a round's experiments have disjoint groups, so each rank
+		// initiates at most one).
+		for _, e := range exps {
+			if e.Initiator == r.Rank() && e.Custom != nil {
+				locals[r.Rank()] = *e.Custom
+			}
+		}
+		r.HardSync()
+
+		done := true
+		for i, e := range exps {
+			v := locals[e.Initiator]
+			samples[i] = append(samples[i], v)
+			if len(samples[i]) >= opts.MaxReps {
+				continue
+			}
+			if len(samples[i]) < opts.MinReps {
+				done = false
+				continue
+			}
+			if stats.Summarize(samples[i], opts.Confidence).RelErr() > opts.RelErr {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	out := make([]stats.Summary, len(exps))
+	for i := range exps {
+		out[i] = stats.Summarize(samples[i], opts.Confidence)
+	}
+	return out
+}
+
+// withMpibDefaults mirrors mpib's defaulting for use here.
+func withMpibDefaults(o mpib.Options) mpib.Options {
+	if o.Confidence == 0 {
+		o.Confidence = 0.95
+	}
+	if o.RelErr == 0 {
+		o.RelErr = 0.025
+	}
+	if o.MinReps == 0 {
+		o.MinReps = 5
+	}
+	if o.MaxReps == 0 {
+		o.MaxReps = 100
+	}
+	if o.MaxReps < o.MinReps {
+		o.MaxReps = o.MinReps
+	}
+	return o
+}
+
+// Experiment bodies. Every body is written so that exactly the ranks of
+// its processor group act; all other ranks fall through immediately.
+// The Custom pointer convention: bodies that measure a sub-interval
+// (e.g. only the send or only the receive) write it there.
+
+// roundtripExp builds the i⇄j round-trip: i sends mOut bytes, j replies
+// with mBack bytes; measured on i (the paper's sender-side timing).
+func roundtripExp(i, j, mOut, mBack, tag int) Exp {
+	return Exp{Initiator: i, Body: func(r *mpi.Rank) {
+		switch r.Rank() {
+		case i:
+			r.Send(j, tag, make([]byte, mOut))
+			r.Recv(j, tag)
+		case j:
+			r.Recv(i, tag)
+			r.Send(i, tag, make([]byte, mBack))
+		}
+	}}
+}
+
+// oneToTwoExp builds the i→(j,k) one-to-two experiment: i sends m bytes
+// to j, then to k, and receives their mBack-byte replies; measured on
+// i. The paper represents its time as T_scatter(m) + T_gather(mBack).
+//
+// The receive order is pinned — k's reply first — which makes k the
+// designated branch of eq (6)/(9): k is sent to last and collected
+// first, so the experiment's critical path runs through k
+// deterministically (T = 2·(2C_i + M·t_i + L_ik + C_k + …)) instead of
+// through whichever branch happens to win the paper's max. This is the
+// "experiments designed very carefully" license of §IV: it turns the
+// piecewise max into an exact linear equation.
+func oneToTwoExp(i, j, k, m, mBack, tag int) Exp {
+	return Exp{Initiator: i, Body: func(r *mpi.Rank) {
+		switch r.Rank() {
+		case i:
+			r.Send(j, tag, make([]byte, m))
+			r.Send(k, tag, make([]byte, m))
+			r.Recv(k, tag)
+			r.Recv(j, tag)
+		case j, k:
+			r.Recv(i, tag)
+			r.Send(i, tag, make([]byte, mBack))
+		}
+	}}
+}
+
+// saturationExp builds the gap experiment: i sends count messages of m
+// bytes back to back; j acknowledges once all have arrived with an
+// empty reply. The per-message gap is the sample divided by count
+// (done by the caller).
+func saturationExp(i, j, m, count, tag int) Exp {
+	return Exp{Initiator: i, Body: func(r *mpi.Rank) {
+		switch r.Rank() {
+		case i:
+			buf := make([]byte, m)
+			for c := 0; c < count; c++ {
+				r.Send(j, tag, buf)
+			}
+			r.Recv(j, tag)
+		case j:
+			for c := 0; c < count; c++ {
+				r.Recv(i, tag)
+			}
+			r.Send(i, tag, nil)
+		}
+	}}
+}
+
+// sendOverheadExp measures o_s(m): the time the Send call occupies the
+// sender, via the round-trip with an empty reply; the custom sample is
+// the send duration alone.
+func sendOverheadExp(i, j, m, tag int) Exp {
+	custom := new(float64)
+	return Exp{Initiator: i, Custom: custom, Body: func(r *mpi.Rank) {
+		switch r.Rank() {
+		case i:
+			t0 := r.Now()
+			r.Send(j, tag, make([]byte, m))
+			*custom = (r.Now() - t0).Seconds()
+			r.Recv(j, tag)
+		case j:
+			r.Recv(i, tag)
+			r.Send(i, tag, nil)
+		}
+	}}
+}
+
+// recvOverheadExp measures o_r(m): i sends m bytes, j replies m bytes;
+// i waits long enough for the reply to be waiting, then times the
+// receive alone (the paper's delayed-receive experiment).
+func recvOverheadExp(i, j, m int, wait time.Duration, tag int) Exp {
+	custom := new(float64)
+	return Exp{Initiator: i, Custom: custom, Body: func(r *mpi.Rank) {
+		switch r.Rank() {
+		case i:
+			r.Send(j, tag, make([]byte, m))
+			r.Sleep(wait) // ample time for the echo to arrive
+			t0 := r.Now()
+			r.Recv(j, tag)
+			*custom = (r.Now() - t0).Seconds()
+		case j:
+			r.Recv(i, tag)
+			r.Send(i, tag, make([]byte, m))
+		}
+	}}
+}

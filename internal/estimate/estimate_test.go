@@ -1,0 +1,622 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/mpib"
+)
+
+func homConfig(n int) mpi.Config {
+	return mpi.Config{
+		Cluster: cluster.Homogeneous(n,
+			cluster.NodeSpec{C: 50 * time.Microsecond, T: 4e-9},
+			cluster.LinkSpec{L: 40 * time.Microsecond, Beta: 1e8}),
+		Profile: cluster.Ideal(),
+		Seed:    1,
+	}
+}
+
+func hetConfig() mpi.Config {
+	return mpi.Config{Cluster: cluster.Table1(), Profile: cluster.Ideal(), Seed: 1}
+}
+
+func relClose(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) <= tol
+	}
+	return math.Abs(got-want)/math.Abs(want) <= tol
+}
+
+func TestHetHockneyRecoversGroundTruth(t *testing.T) {
+	cfg := homConfig(4)
+	h, rep, err := HetHockney(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth per pair: α = 2C + L = 140µs; β = 2t + 1/β = 18ns/B.
+	wantAlpha := 140e-6
+	wantBeta := 2*4e-9 + 1e-8
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			if !relClose(h.Alpha[i][j], wantAlpha, 0.02) {
+				t.Fatalf("α[%d][%d] = %v, want ≈%v", i, j, h.Alpha[i][j], wantAlpha)
+			}
+			if !relClose(h.Beta[i][j], wantBeta, 0.02) {
+				t.Fatalf("β[%d][%d] = %v, want ≈%v", i, j, h.Beta[i][j], wantBeta)
+			}
+		}
+	}
+	if rep.Experiments != 4*6 {
+		t.Fatalf("experiments = %d, want 24 (4 sizes x 6 pairs)", rep.Experiments)
+	}
+	if rep.Cost <= 0 || rep.Repetitions == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestHetHockneyHeterogeneousPairsDiffer(t *testing.T) {
+	h, _, err := HetHockney(hetConfig(), Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Celeron node (index 12, type 6) must show a larger α than the
+	// fastest pair.
+	cl := cluster.Table1()
+	slow, fast := -1, -1
+	for i, nd := range cl.Nodes {
+		if nd.C == 95*time.Microsecond {
+			slow = i
+		}
+		if nd.C == 30*time.Microsecond && fast == -1 {
+			fast = i
+		}
+	}
+	if slow < 0 || fast < 0 {
+		t.Fatal("Table1 layout changed")
+	}
+	other := (slow + 1) % cl.N()
+	if other == fast {
+		other = (slow + 2) % cl.N()
+	}
+	if h.Alpha[slow][other] <= h.Alpha[fast][other] {
+		t.Fatalf("α involving Celeron (%v) should exceed fast pair (%v)",
+			h.Alpha[slow][other], h.Alpha[fast][other])
+	}
+}
+
+// The paper's §IV result: parallel estimation gives the same parameters
+// at a fraction of the cost (5s vs 16s on the real cluster).
+func TestParallelEstimationSameParamsLowerCost(t *testing.T) {
+	cfg := hetConfig()
+	serial, repS, err := HetHockney(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, repP, err := HetHockney(cfg, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.Cluster.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if !relClose(parallel.Alpha[i][j], serial.Alpha[i][j], 0.02) {
+				t.Fatalf("parallel α[%d][%d]=%v differs from serial %v",
+					i, j, parallel.Alpha[i][j], serial.Alpha[i][j])
+			}
+			if !relClose(parallel.Beta[i][j], serial.Beta[i][j], 0.05) {
+				t.Fatalf("parallel β[%d][%d]=%v differs from serial %v",
+					i, j, parallel.Beta[i][j], serial.Beta[i][j])
+			}
+		}
+	}
+	speedup := float64(repS.Cost) / float64(repP.Cost)
+	if speedup < 2 {
+		t.Fatalf("parallel estimation speedup = %.2f, want ≥ 2 (paper: 16s/5s ≈ 3.2)", speedup)
+	}
+	t.Logf("estimation cost: serial %v, parallel %v (speedup %.1f×)", repS.Cost, repP.Cost, speedup)
+}
+
+func TestHomHockneyFitsLine(t *testing.T) {
+	cfg := homConfig(4)
+	h, _, err := HomHockney(cfg, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(h.Alpha, 140e-6, 0.05) {
+		t.Fatalf("α = %v, want ≈140µs", h.Alpha)
+	}
+	if !relClose(h.Beta, 1.8e-8, 0.05) {
+		t.Fatalf("β = %v, want ≈18ns/B", h.Beta)
+	}
+}
+
+func TestLogPLogGPEstimation(t *testing.T) {
+	cfg := homConfig(4)
+	logp, loggp, rep, err := LogPLogGP(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// o should approximate the 0-byte processor cost C = 50µs.
+	if !relClose(logp.O, 50e-6, 0.1) {
+		t.Fatalf("o = %v, want ≈50µs", logp.O)
+	}
+	// Gap per byte should be near the bottleneck per-byte cost:
+	// max(t, 1/β) = 1e-8 s/B.
+	if loggp.BigG <= 0 || loggp.BigG > 3e-8 {
+		t.Fatalf("G = %v, want ≈1e-8", loggp.BigG)
+	}
+	if logp.L < 0 || loggp.L < 0 {
+		t.Fatal("negative latency")
+	}
+	// n=4 → pairs (0,1) and (2,3), five experiments each.
+	if rep.Experiments != 10 {
+		t.Fatalf("experiments = %d, want 10", rep.Experiments)
+	}
+}
+
+func TestPLogPEstimation(t *testing.T) {
+	cfg := homConfig(4)
+	p, rep, err := PLogP(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.G.NumKnots() < 6 {
+		t.Fatalf("g(M) has %d knots, want ≥ 6", p.G.NumKnots())
+	}
+	// g is increasing in M and the asymptotic slope approximates the
+	// bottleneck per-byte cost.
+	g1, g64 := p.Gap(1<<10), p.Gap(64<<10)
+	if g64 <= g1 {
+		t.Fatal("g(M) should grow with M")
+	}
+	slope := (p.Gap(128<<10) - p.Gap(64<<10)) / float64(64<<10)
+	if !relClose(slope, 1e-8, 0.25) {
+		t.Fatalf("asymptotic g slope = %v, want ≈1e-8", slope)
+	}
+	// Overheads approximate the sender/receiver CPU cost C + M·t.
+	if !relClose(p.SendOverhead(0), 50e-6, 0.1) {
+		t.Fatalf("o_s(0) = %v, want ≈50µs", p.SendOverhead(0))
+	}
+	if rep.Experiments < 19 {
+		t.Fatalf("experiments = %d, want ≥ 19 (6 sizes × 3 + RTT)", rep.Experiments)
+	}
+}
+
+// The centerpiece: the LMO estimation must recover the simulator's
+// ground-truth separation of processor and network contributions.
+func TestLMOXRecoversGroundTruthHomogeneous(t *testing.T) {
+	cfg := homConfig(5)
+	m, rep, err := LMOX(cfg, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !relClose(m.C[i], 50e-6, 0.1) {
+			t.Fatalf("C[%d] = %v, want ≈50µs", i, m.C[i])
+		}
+		if !relClose(m.T[i], 4e-9, 0.25) {
+			t.Fatalf("t[%d] = %v, want ≈4ns/B", i, m.T[i])
+		}
+		for j := 0; j < 5; j++ {
+			if i == j {
+				continue
+			}
+			if !relClose(m.L[i][j], 40e-6, 0.3) {
+				t.Fatalf("L[%d][%d] = %v, want ≈40µs", i, j, m.L[i][j])
+			}
+			if !relClose(m.Beta[i][j], 1e8, 0.3) {
+				t.Fatalf("β[%d][%d] = %v, want ≈1e8", i, j, m.Beta[i][j])
+			}
+		}
+	}
+	// C(5,2)=10 pairs ×2 + 3·C(5,3)=30 one-to-two ×2.
+	if rep.Experiments != 2*10+2*30 {
+		t.Fatalf("experiments = %d, want 80", rep.Experiments)
+	}
+}
+
+func TestLMOXSeparatesHeterogeneousProcessors(t *testing.T) {
+	cfg := hetConfig()
+	m, _, err := LMOX(cfg, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cfg.Cluster
+	// Rank processors by estimated C and by ground-truth C: the Celeron
+	// must be the slowest in both, the SC1425s the fastest.
+	slowest, fastest := 0, 0
+	for i := range m.C {
+		if m.C[i] > m.C[slowest] {
+			slowest = i
+		}
+		if m.C[i] < m.C[fastest] {
+			fastest = i
+		}
+	}
+	if cl.Nodes[slowest].C != 95*time.Microsecond {
+		t.Fatalf("estimated slowest node %d (%v); want the Celeron", slowest, cl.Nodes[slowest].Model)
+	}
+	if cl.Nodes[fastest].C != 30*time.Microsecond {
+		t.Fatalf("estimated fastest node %d (%v); want an SC1425", fastest, cl.Nodes[fastest].Model)
+	}
+	// Per-processor estimates track ground truth within 20%.
+	for i, nd := range cl.Nodes {
+		if !relClose(m.C[i], nd.C.Seconds(), 0.2) {
+			t.Fatalf("C[%d] = %v, ground truth %v", i, m.C[i], nd.C.Seconds())
+		}
+	}
+}
+
+func TestLMOXNeedsThreeProcessors(t *testing.T) {
+	if _, _, err := LMOX(homConfig(2), Options{}); err == nil {
+		t.Fatal("n=2 should be rejected")
+	}
+}
+
+func TestSolveTripletClosedFormMatchesLinsolve(t *testing.T) {
+	// Synthesize exact experiment times from known parameters and check
+	// both solvers recover them identically.
+	C := map[int]float64{0: 5e-5, 1: 7e-5, 2: 4e-5}
+	L := map[Pair]float64{{0, 1}: 4e-5, {1, 2}: 5e-5, {0, 2}: 3e-5}
+	tt := TripletTimes{
+		I: 0, J: 1, K: 2, M: 1 << 15,
+		RT0: map[Pair]float64{}, RTM: map[Pair]float64{},
+		OneToTwo0: map[int]float64{}, OneToTwoM: map[int]float64{},
+	}
+	for p, l := range L {
+		tt.RT0[p] = 2 * (C[p.I] + l + C[p.J])
+	}
+	// One-to-two times follow the pinned-order experiment: the critical
+	// path runs through the designated branch d (higher index).
+	ott0 := func(x int) float64 {
+		d := tt.Designated(x)
+		return 2 * (2*C[x] + L[pairKey(x, d)] + C[d])
+	}
+	tt.OneToTwo0[0] = ott0(0)
+	tt.OneToTwo0[1] = ott0(1)
+	tt.OneToTwo0[2] = ott0(2)
+	// Variable parts: t=3e-9 each, β=1e8 every link.
+	tv := 3e-9
+	invb := 1e-8
+	mf := float64(tt.M)
+	for p := range L {
+		tt.RTM[p] = tt.RT0[p] + 2*mf*(2*tv+invb)
+	}
+	ottm := func(x int) float64 {
+		d := tt.Designated(x)
+		return 2*(2*C[x]+mf*tv) + 2*(L[pairKey(x, d)]+C[d]) + mf*(invb+tv)
+	}
+	tt.OneToTwoM[0] = ottm(0)
+	tt.OneToTwoM[1] = ottm(1)
+	tt.OneToTwoM[2] = ottm(2)
+
+	closed := SolveTriplet(tt)
+	viaSolver, err := SolveTripletConstantsLinsolve(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, want := range C {
+		if !relClose(closed.C[x], want, 1e-9) {
+			t.Fatalf("closed C[%d] = %v, want %v", x, closed.C[x], want)
+		}
+		if !relClose(viaSolver.C[x], want, 1e-9) {
+			t.Fatalf("linsolve C[%d] = %v, want %v", x, viaSolver.C[x], want)
+		}
+	}
+	for p, want := range L {
+		if !relClose(closed.L[p], want, 1e-9) || !relClose(viaSolver.L[p], want, 1e-9) {
+			t.Fatalf("L[%v]: closed %v, linsolve %v, want %v", p, closed.L[p], viaSolver.L[p], want)
+		}
+	}
+	for _, x := range []int{0, 1, 2} {
+		if !relClose(closed.T[x], tv, 1e-9) {
+			t.Fatalf("t[%d] = %v, want %v", x, closed.T[x], tv)
+		}
+	}
+	for _, p := range []Pair{{0, 1}, {1, 2}, {0, 2}} {
+		if !relClose(closed.Beta[p], 1e8, 1e-9) {
+			t.Fatalf("β[%v] = %v, want 1e8", p, closed.Beta[p])
+		}
+	}
+}
+
+func TestDetectIrregularityLAM(t *testing.T) {
+	cfg := homConfig(8)
+	cfg.Profile = cluster.LAM()
+	cfg.Seed = 42
+	sizes := DefaultScanSizes()
+	g, rep, err := DetectGatherIrregularity(cfg, 0, sizes, 20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Valid() {
+		t.Fatal("LAM profile should show an irregular region")
+	}
+	// Ground truth: M1 = 4KB, M2 = 65KB. Grid resolution allows
+	// ±1 grid step.
+	if g.M1 < 2<<10 || g.M1 > 8<<10 {
+		t.Fatalf("M1 = %d, want ≈4KB", g.M1)
+	}
+	if g.M2 < 56<<10 || g.M2 > 80<<10 {
+		t.Fatalf("M2 = %d, want ≈65KB", g.M2)
+	}
+	// Escalation magnitudes should cluster near 0.2s/0.25s.
+	if len(g.EscModes) == 0 {
+		t.Fatal("no escalation modes found")
+	}
+	top := g.EscModes[0].Value
+	if top < 0.15 || top > 0.3 {
+		t.Fatalf("dominant escalation %v, want ≈0.2–0.25s", top)
+	}
+	if g.ProbHigh <= g.ProbLow {
+		t.Fatalf("escalation probability should grow across the region: %v → %v", g.ProbLow, g.ProbHigh)
+	}
+	if rep.Experiments != len(sizes) {
+		t.Fatalf("experiments = %d", rep.Experiments)
+	}
+}
+
+func TestDetectIrregularityMPICHDiffers(t *testing.T) {
+	cfg := homConfig(8)
+	cfg.Profile = cluster.MPICH()
+	cfg.Seed = 42
+	g, _, err := DetectGatherIrregularity(cfg, 0, DefaultScanSizes(), 20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Valid() {
+		t.Fatal("MPICH profile should show an irregular region")
+	}
+	// Ground truth: M1 = 3KB, M2 = 125KB.
+	if g.M1 < 1<<10 || g.M1 > 6<<10 {
+		t.Fatalf("M1 = %d, want ≈3KB", g.M1)
+	}
+	if g.M2 < 110<<10 || g.M2 > 140<<10 {
+		t.Fatalf("M2 = %d, want ≈125KB", g.M2)
+	}
+}
+
+func TestDetectIrregularityIdealIsClean(t *testing.T) {
+	cfg := homConfig(8)
+	g, _, err := DetectGatherIrregularity(cfg, 0, []int{1 << 10, 16 << 10, 64 << 10}, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Valid() {
+		t.Fatalf("ideal network reported irregularity: %+v", g)
+	}
+}
+
+func TestAnalyzeGatherScanEdgeCases(t *testing.T) {
+	if AnalyzeGatherScan(GatherScan{}).Valid() {
+		t.Fatal("empty scan should be invalid")
+	}
+	// Escalations at the very first and very last size: thresholds are
+	// extrapolated outward.
+	scan := GatherScan{
+		Sizes: []int{1000, 2000},
+		Samples: [][]float64{
+			{0.01, 0.01, 0.25},
+			{0.01, 0.26, 0.01},
+		},
+	}
+	g := AnalyzeGatherScan(scan)
+	if !g.Valid() {
+		t.Fatal("should detect region")
+	}
+	if g.M1 != 500 || g.M2 != 4000 {
+		t.Fatalf("extrapolated thresholds = %d/%d", g.M1, g.M2)
+	}
+}
+
+func TestScanGatherUsesFixedReps(t *testing.T) {
+	cfg := homConfig(4)
+	scan, _, err := ScanGather(cfg, 0, []int{1 << 10}, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Samples[0]) != 7 {
+		t.Fatalf("samples = %d, want 7", len(scan.Samples[0]))
+	}
+}
+
+// Guard: the measureRound engine with a custom sample pointer reports
+// the sub-interval, not the whole body.
+func TestCustomSampleExp(t *testing.T) {
+	cfg := homConfig(2)
+	var whole, sub float64
+	_, err := mpi.Run(cfg, func(r *mpi.Rank) {
+		s := measureRound(r, mpib.Options{MinReps: 3, MaxReps: 3}, []Exp{recvOverheadExp(0, 1, 1000, logpWait, 0)})
+		sub = s[0].Mean
+		w := measureRound(r, mpib.Options{MinReps: 3, MaxReps: 3}, []Exp{roundtripExp(0, 1, 1000, 1000, 1)})
+		whole = w[0].Mean
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub <= 0 || sub >= whole {
+		t.Fatalf("recv overhead %v should be positive and below the round-trip %v", sub, whole)
+	}
+}
+
+// The original five-parameter model must fold half the network latency
+// into each processor constant (the conflation the paper criticizes),
+// while the extended model separates it.
+func TestLMOOriginalConflatesLatency(t *testing.T) {
+	cfg := homConfig(5) // C = 50µs, L = 40µs ground truth
+	orig, rep, err := LMOOriginal(cfg, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiments == 0 || rep.Cost <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Expect C ≈ 50µs + L/2 = 70µs for every processor.
+	for i := 0; i < 5; i++ {
+		if !relClose(orig.C()[i], 70e-6, 0.1) {
+			t.Fatalf("orig C[%d] = %v, want ≈70µs (true C + L/2)", i, orig.C()[i])
+		}
+	}
+	ext, _, err := LMOX(cfg, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The extension separates: C back to ≈50µs, L ≈40µs.
+	if !relClose(ext.C[0], 50e-6, 0.1) || !relClose(ext.L[0][1], 40e-6, 0.3) {
+		t.Fatalf("extended C=%v L=%v", ext.C[0], ext.L[0][1])
+	}
+	// Both models must still predict point-to-point consistently.
+	p2pOrig := orig.P2P(0, 1, 32<<10)
+	p2pExt := ext.P2P(0, 1, 32<<10)
+	if !relClose(p2pOrig, p2pExt, 0.1) {
+		t.Fatalf("p2p: orig %v vs ext %v", p2pOrig, p2pExt)
+	}
+}
+
+// On a heterogeneous cluster the conflation distorts per-processor
+// constants; the extension's separation must track ground truth better.
+func TestLMOOriginalVsExtendedOnHeterogeneous(t *testing.T) {
+	cfg := hetConfig()
+	orig, _, err := LMOOriginal(cfg, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, _, err := LMOX(cfg, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errOrig, errExt float64
+	for i, nd := range cfg.Cluster.Nodes {
+		truth := nd.C.Seconds()
+		errOrig += math.Abs(orig.C()[i]-truth) / truth
+		errExt += math.Abs(ext.C[i]-truth) / truth
+	}
+	if errExt >= errOrig {
+		t.Fatalf("extended C error (%v) should beat original (%v)", errExt, errOrig)
+	}
+}
+
+// Sampled triplet coverage: a fraction of the one-to-two experiments
+// must still recover the processor parameters, at a fraction of the
+// cost — the §IV runtime-estimation trade-off.
+func TestLMOXSampledCoverage(t *testing.T) {
+	cfg := hetConfig()
+	full, repFull, err := LMOX(cfg, Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, repSamp, err := LMOX(cfg, Options{Parallel: true, TripletCoverage: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSamp.Experiments >= repFull.Experiments/3 {
+		t.Fatalf("sampling barely reduced experiments: %d vs %d", repSamp.Experiments, repFull.Experiments)
+	}
+	if repSamp.Cost >= repFull.Cost {
+		t.Fatalf("sampling did not reduce cost: %v vs %v", repSamp.Cost, repFull.Cost)
+	}
+	for i, nd := range cfg.Cluster.Nodes {
+		if !relClose(sampled.C[i], nd.C.Seconds(), 0.25) {
+			t.Fatalf("sampled C[%d] = %v, ground truth %v", i, sampled.C[i], nd.C.Seconds())
+		}
+	}
+	// Links still come from the complete round-trip sweep.
+	if !relClose(sampled.L[0][1], full.L[0][1], 0.25) {
+		t.Fatalf("sampled L = %v vs full %v", sampled.L[0][1], full.L[0][1])
+	}
+}
+
+// Property: for random ground-truth parameters, synthesizing exact
+// experiment times and solving recovers the parameters exactly — the
+// closed forms invert the experiment model.
+func TestSolveTripletPropertyExactInversion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		C := map[int]float64{}
+		T := map[int]float64{}
+		for _, x := range []int{0, 1, 2} {
+			C[x] = 1e-5 + rng.Float64()*2e-4
+			T[x] = 1e-9 + rng.Float64()*2e-8
+		}
+		L := map[Pair]float64{}
+		B := map[Pair]float64{}
+		for _, p := range []Pair{{0, 1}, {1, 2}, {0, 2}} {
+			L[p] = 1e-5 + rng.Float64()*2e-4
+			B[p] = 1e7 + rng.Float64()*2e8
+		}
+		m := 1 << (12 + rng.Intn(8))
+		mf := float64(m)
+		tt := TripletTimes{
+			I: 0, J: 1, K: 2, M: m,
+			RT0: map[Pair]float64{}, RTM: map[Pair]float64{},
+			OneToTwo0: map[int]float64{}, OneToTwoM: map[int]float64{},
+		}
+		for p, l := range L {
+			tt.RT0[p] = 2 * (C[p.I] + l + C[p.J])
+			tt.RTM[p] = tt.RT0[p] + 2*mf*(T[p.I]+1/B[p]+T[p.J])
+		}
+		for _, x := range []int{0, 1, 2} {
+			d := tt.Designated(x)
+			pd := pairKey(x, d)
+			tt.OneToTwo0[x] = 2 * (2*C[x] + L[pd] + C[d])
+			tt.OneToTwoM[x] = 2*(2*C[x]+mf*T[x]) + 2*(L[pd]+C[d]) + mf*(1/B[pd]+T[d])
+		}
+		sol := SolveTriplet(tt)
+		for _, x := range []int{0, 1, 2} {
+			if !relClose(sol.C[x], C[x], 1e-9) || !relClose(sol.T[x], T[x], 1e-6) {
+				return false
+			}
+		}
+		for p := range L {
+			if !relClose(sol.L[p], L[p], 1e-9) || !relClose(sol.Beta[p], B[p], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The PLogP adaptive refinement must react to the TCP leap: under the
+// LAM profile g(M) jumps at 64 KB, the linear-extrapolation check
+// fails there, and midpoints get inserted around the discontinuity.
+func TestPLogPAdaptiveRefinementAroundLeap(t *testing.T) {
+	ideal := homConfig(4)
+	pIdeal, _, err := PLogP(ideal, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := homConfig(4)
+	lam.Profile = cluster.LAM()
+	pLam, _, err := PLogP(lam, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pLam.G.NumKnots() <= pIdeal.G.NumKnots() {
+		t.Fatalf("leap should trigger refinement: LAM %d knots vs ideal %d",
+			pLam.G.NumKnots(), pIdeal.G.NumKnots())
+	}
+	// And the refined g(M) must actually capture the jump: g just above
+	// the leap exceeds the linear extrapolation from below.
+	gBelow := pLam.Gap(60 << 10)
+	gAbove := pLam.Gap(72 << 10)
+	slopeBelow := (pLam.Gap(60<<10) - pLam.Gap(48<<10)) / float64(12<<10)
+	extrap := gBelow + slopeBelow*float64(12<<10)
+	if gAbove <= extrap {
+		t.Fatalf("g should jump past the leap: got %v, extrapolation %v", gAbove, extrap)
+	}
+}

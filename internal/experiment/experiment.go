@@ -1,0 +1,249 @@
+// Package experiment reproduces the paper's evaluation: one runner per
+// figure and table, producing named observation/prediction series and
+// text tables. The runners estimate the models from communication
+// experiments (never from the simulator's ground truth), observe the
+// collectives on the simulated cluster, and lay both side by side,
+// exactly as the paper's §V plots do.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/estimate"
+	"repro/internal/models"
+	"repro/internal/mpi"
+	"repro/internal/mpib"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+// Config parameterizes a reproduction run.
+type Config struct {
+	Cluster  *cluster.Cluster    // the machine (default: Table I's 16 nodes)
+	Profile  *cluster.TCPProfile // MPI implementation profile (default: LAM)
+	Seed     int64               // TCP randomness seed
+	Root     int                 // collective root
+	Sizes    []int               // message-size sweep for the figures
+	ObsReps  int                 // repetitions per observation point
+	Est      estimate.Options    // estimation options (parallel schedules by default)
+	ScanReps int                 // repetitions per size in the irregularity scan
+}
+
+// Default returns the paper's setting: the 16-node heterogeneous
+// cluster of Table I under LAM 7.1.3.
+func Default() Config {
+	return Config{
+		Cluster:  cluster.Table1(),
+		Profile:  cluster.LAM(),
+		Seed:     1,
+		Root:     0,
+		Sizes:    DefaultSizes(),
+		ObsReps:  10,
+		Est:      estimate.Options{Parallel: true},
+		ScanReps: 20,
+	}
+}
+
+// DefaultSizes is the figures' message-size sweep: 1 KB – 200 KB.
+func DefaultSizes() []int {
+	return []int{
+		1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 24 << 10, 32 << 10,
+		48 << 10, 64 << 10, 80 << 10, 96 << 10, 128 << 10, 160 << 10, 200 << 10,
+	}
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Cluster == nil {
+		c.Cluster = cluster.Table1()
+	}
+	if c.Profile == nil {
+		c.Profile = cluster.LAM()
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = DefaultSizes()
+	}
+	if c.ObsReps == 0 {
+		c.ObsReps = 10
+	}
+	if c.ScanReps == 0 {
+		c.ScanReps = 20
+	}
+	return c
+}
+
+func (c Config) mpiConfig() mpi.Config {
+	return mpi.Config{Cluster: c.Cluster, Profile: c.Profile, Seed: c.Seed}
+}
+
+// TableBlock is a captioned text table inside a report.
+type TableBlock struct {
+	Caption string
+	Rows    [][]string
+}
+
+// Report is the result of one experiment runner.
+type Report struct {
+	ID     string // "fig1" … "fig7", "table1", …
+	Title  string
+	XLabel string
+	YLabel string
+	Series []textplot.Series
+	Tables []TableBlock
+	Notes  []string
+}
+
+// ModelSet bundles the estimated models a figure compares.
+type ModelSet struct {
+	Hom   *models.Hockney
+	Het   *models.HetHockney
+	LogP  *models.LogP
+	LogGP *models.LogGP
+	PLogP *models.PLogP
+	LMO   *models.LMOX
+
+	EstCosts map[string]time.Duration // estimation cost per model family
+}
+
+// EstimateAll runs every estimator (with the configured schedule) and
+// attaches the detected gather irregularity to the LMO model.
+func EstimateAll(cfg Config) (*ModelSet, error) {
+	cfg = cfg.withDefaults()
+	ms := &ModelSet{EstCosts: map[string]time.Duration{}}
+
+	het, repHet, err := estimate.HetHockney(cfg.mpiConfig(), cfg.Est)
+	if err != nil {
+		return nil, fmt.Errorf("het-Hockney estimation: %w", err)
+	}
+	ms.Het = het
+	ms.Hom = het.Averaged()
+	ms.EstCosts["hockney"] = repHet.Cost
+
+	logp, loggp, repLG, err := estimate.LogPLogGP(cfg.mpiConfig(), cfg.Est)
+	if err != nil {
+		return nil, fmt.Errorf("LogP/LogGP estimation: %w", err)
+	}
+	ms.LogP, ms.LogGP = logp, loggp
+	ms.EstCosts["logp"] = repLG.Cost
+
+	plogp, repPL, err := estimate.PLogP(cfg.mpiConfig(), cfg.Est)
+	if err != nil {
+		return nil, fmt.Errorf("PLogP estimation: %w", err)
+	}
+	ms.PLogP = plogp
+	ms.EstCosts["plogp"] = repPL.Cost
+
+	lmo, repLMO, err := estimate.LMOX(cfg.mpiConfig(), cfg.Est)
+	if err != nil {
+		return nil, fmt.Errorf("LMO estimation: %w", err)
+	}
+	ms.EstCosts["lmo"] = repLMO.Cost
+
+	irr, repIrr, err := estimate.DetectGatherIrregularity(
+		cfg.mpiConfig(), cfg.Root, estimate.DefaultScanSizes(), cfg.ScanReps, cfg.Est)
+	if err != nil {
+		return nil, fmt.Errorf("irregularity detection: %w", err)
+	}
+	lmo.Gather = irr
+	ms.LMO = lmo
+	ms.EstCosts["irregularity-scan"] = repIrr.Cost
+	return ms, nil
+}
+
+// CollectiveOp selects the observed operation.
+type CollectiveOp int
+
+// The collectives the figures observe.
+const (
+	Scatter CollectiveOp = iota
+	Gather
+)
+
+// String returns the op name.
+func (o CollectiveOp) String() string {
+	if o == Scatter {
+		return "scatter"
+	}
+	return "gather"
+}
+
+// Observation is one observed size sweep.
+type Observation struct {
+	Sizes []int
+	Mean  []float64 // mean over repetitions (seconds)
+	Max   []float64 // worst repetition
+	Min   []float64 // best repetition
+}
+
+// Observe measures a collective across cfg.Sizes with fixed
+// repetitions and max-timing (the makespan the paper's plots show).
+func Observe(cfg Config, op CollectiveOp, alg mpi.Alg) (Observation, error) {
+	cfg = cfg.withDefaults()
+	obs := Observation{Sizes: cfg.Sizes}
+	obs.Mean = make([]float64, len(cfg.Sizes))
+	obs.Max = make([]float64, len(cfg.Sizes))
+	obs.Min = make([]float64, len(cfg.Sizes))
+	n := cfg.Cluster.N()
+	_, err := mpi.Run(cfg.mpiConfig(), func(r *mpi.Rank) {
+		for si, m := range cfg.Sizes {
+			var fn func()
+			switch op {
+			case Scatter:
+				blocks := make([][]byte, n)
+				for i := range blocks {
+					blocks[i] = make([]byte, m)
+				}
+				fn = func() { r.Scatter(alg, cfg.Root, blocks) }
+			default:
+				block := make([]byte, m)
+				fn = func() { r.Gather(alg, cfg.Root, block) }
+			}
+			meas := mpib.Measure(r, cfg.Root, mpib.MaxTiming,
+				mpib.Options{MinReps: cfg.ObsReps, MaxReps: cfg.ObsReps}, fn)
+			if r.Rank() == 0 {
+				obs.Mean[si] = meas.Mean
+				obs.Max[si] = stats.Max(meas.Samples)
+				obs.Min[si] = stats.Min(meas.Samples)
+			}
+		}
+	})
+	return obs, err
+}
+
+// series builds a textplot series from a size sweep and y values.
+func series(name string, sizes []int, ys []float64) textplot.Series {
+	s := textplot.Series{Name: name}
+	for i, m := range sizes {
+		s.Points = append(s.Points, textplot.Point{X: float64(m), Y: ys[i]})
+	}
+	return s
+}
+
+// predict sweeps a prediction function over sizes.
+func predict(sizes []int, f func(m int) float64) []float64 {
+	out := make([]float64, len(sizes))
+	for i, m := range sizes {
+		out[i] = f(m)
+	}
+	return out
+}
+
+// meanAbsRelError compares a prediction sweep to an observation sweep.
+func meanAbsRelError(obs, pred []float64) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range obs {
+		if obs[i] != 0 {
+			d := (pred[i] - obs[i]) / obs[i]
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+	}
+	return s / float64(len(obs))
+}

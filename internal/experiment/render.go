@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/textplot"
+)
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID    string
+	Brief string
+	Run   func(Config) (*Report, error)
+}
+
+// Runners lists every reproduction experiment, in paper order.
+func Runners() []Runner {
+	return []Runner{
+		{"table1", "Table I: cluster specification", Table1},
+		{"fig1", "Fig 1: linear scatter, Hockney variants vs observation", Fig1},
+		{"fig2", "Fig 2: binomial communication tree", Fig2},
+		{"fig3", "Fig 3: binomial scatter, hom vs het Hockney", Fig3},
+		{"table2", "Table II: linear scatter/gather predictions per model", Table2},
+		{"fig4", "Fig 4: linear scatter, all models vs observation", Fig4},
+		{"fig5", "Fig 5: linear gather, all models vs observation", Fig5},
+		{"fig6", "Fig 6: linear vs binomial scatter, algorithm selection", Fig6},
+		{"fig7", "Fig 7: LMO-guided gather optimization", Fig7},
+		{"estcost", "§IV: serial vs parallel estimation cost", EstCost},
+		{"irreg", "§III: irregularity thresholds per MPI implementation", Irreg},
+		{"ablation", "Ablations: 5- vs 6-parameter LMO; TCP machinery on/off", Ablation},
+		{"algzoo", "Extension: four scatter algorithms, observed vs LMO-selected", AlgZoo},
+		{"timing", "§IV: root-side vs makespan timing methods", Timing},
+		{"precision", "§IV: confidence target vs estimation cost/accuracy", Precision},
+		{"scaling", "Estimation scaling with cluster size", Scaling},
+		{"collectives", "Extension: LMO tree predictions for bcast/reduce/binary/chain", Collectives},
+		{"transfer", "§III: LAM-estimated model applied to an MPICH cluster", Transfer},
+	}
+}
+
+// Lookup returns the runner with the given id, or nil.
+func Lookup(id string) *Runner {
+	for _, r := range Runners() {
+		if r.ID == id {
+			r := r
+			return &r
+		}
+	}
+	return nil
+}
+
+// Render writes the report as text: title, chart (when there are
+// series), tables and notes.
+func Render(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "== %s ==\n\n", rep.Title)
+	if len(rep.Series) > 0 {
+		fmt.Fprintln(w, textplot.Chart("", rep.XLabel, rep.YLabel, rep.Series, 72, 20))
+	}
+	for _, tb := range rep.Tables {
+		if tb.Caption != "" {
+			fmt.Fprintf(w, "-- %s --\n", tb.Caption)
+		}
+		fmt.Fprintln(w, textplot.Table(tb.Rows))
+	}
+	for _, n := range rep.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// WriteCSV writes the report's series as CSV: one x column and one
+// column per series (points are matched by position).
+func WriteCSV(w io.Writer, rep *Report) error {
+	if len(rep.Series) == 0 {
+		return nil
+	}
+	header := []string{"x"}
+	for _, s := range rep.Series {
+		header = append(header, csvEscape(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	maxLen := 0
+	for _, s := range rep.Series {
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(rep.Series)+1)
+		x := ""
+		for _, s := range rep.Series {
+			if i < len(s.Points) {
+				x = fmt.Sprintf("%g", s.Points[i].X)
+				break
+			}
+		}
+		row = append(row, x)
+		for _, s := range rep.Series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%g", s.Points[i].Y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/estimate"
+	"repro/internal/mpi"
+	"repro/internal/mpib"
+)
+
+// Precision studies the statistical methodology of §IV / MPIBlib: the
+// adaptive repetition loop stops when the Student-t confidence
+// interval's relative error reaches the target. Two observables make
+// the trade-off visible:
+//
+//   - round-trips (the estimation experiments) are clean on a switched
+//     cluster, so they converge at the minimum repetitions for every
+//     target — which is exactly why the paper's estimation is cheap;
+//   - linear gather in the irregular region is dominated by random
+//     escalations, so the repetitions needed explode as the target
+//     tightens — which is why the paper measures the irregular region
+//     with a fixed-repetition scan instead.
+func Precision(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{ID: "precision", Title: "§IV: confidence-target vs measurement cost"}
+
+	targets := []float64{0.25, 0.1, 0.05, 0.025}
+	rows := [][]string{{"target rel.err", "round-trip reps", "gather(48K) reps", "gather CI half-width"}}
+	for _, target := range targets {
+		var rtN, gN int
+		var gCI float64
+		_, err := mpi.Run(cfg.mpiConfig(), func(r *mpi.Rank) {
+			opts := mpib.Options{RelErr: target, MinReps: 8, MaxReps: 200}
+			rt := mpib.Measure(r, 0, mpib.RootTiming, opts, func() {
+				switch r.Rank() {
+				case 0:
+					r.Send(1, 0, make([]byte, 32<<10))
+					r.Recv(1, 0)
+				case 1:
+					r.Recv(0, 0)
+					r.Send(0, 0, make([]byte, 32<<10))
+				}
+			})
+			g := mpib.Measure(r, cfg.Root, mpib.RootTiming, opts, func() {
+				r.Gather(mpi.Linear, cfg.Root, make([]byte, 48<<10))
+			})
+			if r.Rank() == 0 {
+				rtN, gN, gCI = rt.N, g.N, g.CIHalf
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f%%", 100*target),
+			fmt.Sprint(rtN),
+			fmt.Sprint(gN),
+			fmt.Sprintf("%.1fms", gCI*1e3),
+		})
+	}
+	rep.Tables = append(rep.Tables, TableBlock{Caption: "adaptive repetitions per confidence target", Rows: rows})
+	rep.Notes = append(rep.Notes,
+		"clean experiments converge at the minimum repetitions for any target (cheap estimation); the escalating gather needs ever more repetitions as the target tightens, hitting the cap — the paper measures the irregular region with a fixed-repetition scan and reports escalation statistics instead of a mean")
+	return rep, nil
+}
+
+// Scaling studies how the estimation procedures and the LMO accuracy
+// scale with the cluster size: the experiment counts grow as O(n²)
+// round-trips plus O(n³) one-to-two experiments, the paper's stated
+// complexity, while the prediction accuracy stays flat.
+func Scaling(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	full := cfg.Cluster
+	sizes := []int{4, 6, 8, 12, 16}
+	rows := [][]string{{"n", "experiments", "C(n,2)+3·C(n,3) ×2", "cost (parallel)", "LMO scatter err"}}
+	rep := &Report{ID: "scaling", Title: "Estimation scaling with cluster size"}
+
+	for _, n := range sizes {
+		if n > full.N() {
+			continue
+		}
+		sub := cfg
+		sub.Cluster = full.Prefix(n)
+		lmo, r, err := estimate.LMOX(sub.mpiConfig(), sub.Est)
+		if err != nil {
+			return nil, err
+		}
+		// Quick accuracy probe: linear scatter at one mid size.
+		probe := sub
+		probe.Sizes = []int{32 << 10}
+		obs, err := Observe(probe, Scatter, mpi.Linear)
+		if err != nil {
+			return nil, err
+		}
+		pred := lmo.ScatterLinear(sub.Root, n, 32<<10)
+		errPct := 100 * math.Abs(pred-obs.Mean[0]) / obs.Mean[0]
+		expected := n*(n-1) + n*(n-1)*(n-2) // ×2 sizes: C(n,2)·2 + 3·C(n,3)·2
+		rows = append(rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprint(r.Experiments),
+			fmt.Sprint(expected),
+			r.Cost.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f%%", errPct),
+		})
+		if r.Experiments != expected {
+			return nil, fmt.Errorf("scaling: experiment count %d != expected %d at n=%d", r.Experiments, expected, n)
+		}
+	}
+	rep.Tables = append(rep.Tables, TableBlock{Caption: "LMO estimation vs cluster size", Rows: rows})
+	rep.Notes = append(rep.Notes,
+		"experiment counts follow the paper's complexity (C(n,2) round-trips + 3·C(n,3) one-to-two, each at two sizes); the parallel schedule keeps the cost growth tame and the prediction error does not degrade with n")
+	return rep, nil
+}

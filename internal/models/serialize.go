@@ -1,0 +1,147 @@
+package models
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ModelFile is the on-disk representation of an estimated model set:
+// the paper's companion tool estimates parameters once and reuses them
+// for prediction and optimization later. Only the fields of the models
+// present are populated.
+type ModelFile struct {
+	Version int `json:"version"`
+
+	Hockney    *Hockney        `json:"hockney,omitempty"`
+	HetHockney *hetHockneyJSON `json:"het_hockney,omitempty"`
+	LogP       *LogP           `json:"logp,omitempty"`
+	LogGP      *LogGP          `json:"loggp,omitempty"`
+	PLogP      *plogpJSON      `json:"plogp,omitempty"`
+	LMO        *lmoJSON        `json:"lmo,omitempty"`
+}
+
+// hetHockneyJSON mirrors HetHockney with exported JSON fields.
+type hetHockneyJSON struct {
+	Alpha [][]float64 `json:"alpha"`
+	Beta  [][]float64 `json:"beta"`
+}
+
+// plogpJSON flattens the piecewise-linear parameters into knot lists.
+type plogpJSON struct {
+	L  float64   `json:"l"`
+	P  int       `json:"p"`
+	GX []float64 `json:"g_x"`
+	GY []float64 `json:"g_y"`
+	SX []float64 `json:"os_x"`
+	SY []float64 `json:"os_y"`
+	RX []float64 `json:"or_x"`
+	RY []float64 `json:"or_y"`
+}
+
+// lmoJSON mirrors LMOX plus the empirical gather parameters.
+type lmoJSON struct {
+	C     []float64    `json:"c"`
+	T     []float64    `json:"t"`
+	L     [][]float64  `json:"l"`
+	Beta  [][]float64  `json:"beta"`
+	M1    int          `json:"m1,omitempty"`
+	M2    int          `json:"m2,omitempty"`
+	Modes []stats.Mode `json:"escalation_modes,omitempty"`
+	PLow  float64      `json:"prob_low,omitempty"`
+	PHigh float64      `json:"prob_high,omitempty"`
+}
+
+// NewModelFile bundles models for serialization; nil entries are
+// omitted.
+func NewModelFile(hom *Hockney, het *HetHockney, logp *LogP, loggp *LogGP, plogp *PLogP, lmo *LMOX) *ModelFile {
+	mf := &ModelFile{Version: 1, Hockney: hom, LogP: logp, LogGP: loggp}
+	if het != nil {
+		mf.HetHockney = &hetHockneyJSON{Alpha: het.Alpha, Beta: het.Beta}
+	}
+	if plogp != nil {
+		pj := &plogpJSON{L: plogp.L, P: plogp.P}
+		pj.GX, pj.GY = knots(plogp.G)
+		pj.SX, pj.SY = knots(plogp.OS)
+		pj.RX, pj.RY = knots(plogp.OR)
+		mf.PLogP = pj
+	}
+	if lmo != nil {
+		mf.LMO = &lmoJSON{
+			C: lmo.C, T: lmo.T, L: lmo.L, Beta: lmo.Beta,
+			M1: lmo.Gather.M1, M2: lmo.Gather.M2,
+			Modes: lmo.Gather.EscModes, PLow: lmo.Gather.ProbLow, PHigh: lmo.Gather.ProbHigh,
+		}
+	}
+	return mf
+}
+
+func knots(p *stats.PWLinear) (xs, ys []float64) {
+	for i := 0; i < p.NumKnots(); i++ {
+		x, y := p.Knot(i)
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return xs, ys
+}
+
+// Marshal renders the model file as indented JSON.
+func (mf *ModelFile) Marshal() ([]byte, error) {
+	return json.MarshalIndent(mf, "", "  ")
+}
+
+// UnmarshalModelFile parses a model file and reconstructs the models.
+func UnmarshalModelFile(data []byte) (*ModelFile, error) {
+	var mf ModelFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, fmt.Errorf("models: parsing model file: %w", err)
+	}
+	if mf.Version != 1 {
+		return nil, fmt.Errorf("models: unsupported model file version %d", mf.Version)
+	}
+	return &mf, nil
+}
+
+// GetHetHockney reconstructs the heterogeneous Hockney model, or nil.
+func (mf *ModelFile) GetHetHockney() *HetHockney {
+	if mf.HetHockney == nil {
+		return nil
+	}
+	return &HetHockney{Alpha: mf.HetHockney.Alpha, Beta: mf.HetHockney.Beta}
+}
+
+// GetPLogP reconstructs the PLogP model, or nil. It returns an error
+// if the knot lists are malformed.
+func (mf *ModelFile) GetPLogP() (*PLogP, error) {
+	if mf.PLogP == nil {
+		return nil, nil
+	}
+	g, err := stats.NewPWLinear(mf.PLogP.GX, mf.PLogP.GY)
+	if err != nil {
+		return nil, fmt.Errorf("models: plogp g knots: %w", err)
+	}
+	os, err := stats.NewPWLinear(mf.PLogP.SX, mf.PLogP.SY)
+	if err != nil {
+		return nil, fmt.Errorf("models: plogp o_s knots: %w", err)
+	}
+	or, err := stats.NewPWLinear(mf.PLogP.RX, mf.PLogP.RY)
+	if err != nil {
+		return nil, fmt.Errorf("models: plogp o_r knots: %w", err)
+	}
+	return &PLogP{L: mf.PLogP.L, OS: os, OR: or, G: g, P: mf.PLogP.P}, nil
+}
+
+// GetLMO reconstructs the extended LMO model, or nil.
+func (mf *ModelFile) GetLMO() *LMOX {
+	if mf.LMO == nil {
+		return nil
+	}
+	return &LMOX{
+		C: mf.LMO.C, T: mf.LMO.T, L: mf.LMO.L, Beta: mf.LMO.Beta,
+		Gather: GatherEmpirical{
+			M1: mf.LMO.M1, M2: mf.LMO.M2,
+			EscModes: mf.LMO.Modes, ProbLow: mf.LMO.PLow, ProbHigh: mf.LMO.PHigh,
+		},
+	}
+}

@@ -1,0 +1,98 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestModelFileRoundTrip(t *testing.T) {
+	hom := &Hockney{Alpha: 1e-4, Beta: 2e-8}
+	het := NewHetHockney(3)
+	het.Alpha[0][1] = 1.5e-4
+	het.Beta[0][1] = 3e-8
+	logp := &LogP{L: 1e-4, O: 2e-5, G: 1e-5, W: 1024, P: 3}
+	loggp := &LogGP{L: 1e-4, O: 2e-5, SmG: 5e-5, BigG: 1e-8, P: 3}
+	g, _ := stats.NewPWLinear([]float64{0, 1024}, []float64{1e-5, 2e-5})
+	o, _ := stats.NewPWLinear([]float64{0}, []float64{5e-6})
+	plogp := &PLogP{L: 9e-5, OS: o, OR: o, G: g, P: 3}
+	lmo := buildLMOX(3)
+	lmo.Gather = GatherEmpirical{
+		M1: 4096, M2: 65536,
+		EscModes: []stats.Mode{{Value: 0.2, Count: 10}},
+		ProbLow:  0.1, ProbHigh: 0.9,
+	}
+
+	data, err := NewModelFile(hom, het, logp, loggp, plogp, lmo).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := UnmarshalModelFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if mf.Hockney.Alpha != hom.Alpha || mf.Hockney.Beta != hom.Beta {
+		t.Fatalf("hockney = %+v", mf.Hockney)
+	}
+	if mf.LogP.O != logp.O || mf.LogGP.BigG != loggp.BigG {
+		t.Fatal("logp/loggp fields lost")
+	}
+	het2 := mf.GetHetHockney()
+	if het2.Alpha[0][1] != 1.5e-4 || het2.Beta[0][1] != 3e-8 {
+		t.Fatalf("het = %+v", het2)
+	}
+	p2, err := mf.GetPLogP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.L != 9e-5 || p2.Gap(512) != plogp.Gap(512) {
+		t.Fatal("plogp reconstruction mismatch")
+	}
+	l2 := mf.GetLMO()
+	for m := 0; m < 3; m++ {
+		if l2.P2P(0, 1, 1000*m) != lmo.P2P(0, 1, 1000*m) {
+			t.Fatal("lmo p2p mismatch after round trip")
+		}
+	}
+	if !l2.Gather.Valid() || l2.Gather.M2 != 65536 || l2.Gather.EscModes[0].Value != 0.2 {
+		t.Fatalf("lmo empirical params lost: %+v", l2.Gather)
+	}
+	// The reconstructed model predicts collectives identically.
+	if l2.GatherLinear(0, 3, 30<<10) != lmo.GatherLinear(0, 3, 30<<10) {
+		t.Fatal("gather prediction changed after round trip")
+	}
+}
+
+func TestModelFilePartial(t *testing.T) {
+	data, err := NewModelFile(nil, nil, nil, nil, nil, buildLMOX(2)).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := UnmarshalModelFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Hockney != nil || mf.GetHetHockney() != nil {
+		t.Fatal("absent models should stay nil")
+	}
+	if p, err := mf.GetPLogP(); err != nil || p != nil {
+		t.Fatal("absent plogp should be nil without error")
+	}
+	if mf.GetLMO() == nil {
+		t.Fatal("lmo lost")
+	}
+	if !strings.Contains(string(data), `"version": 1`) {
+		t.Fatalf("version missing:\n%s", data)
+	}
+}
+
+func TestUnmarshalRejectsGarbageAndWrongVersion(t *testing.T) {
+	if _, err := UnmarshalModelFile([]byte("{")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := UnmarshalModelFile([]byte(`{"version": 99}`)); err == nil {
+		t.Fatal("wrong version should fail")
+	}
+}

@@ -1,0 +1,178 @@
+package models
+
+import "repro/internal/collective"
+
+// TreePredictor is a model able to predict collectives over arbitrary
+// communication trees (flat, binomial, binary, chain, or custom
+// mappings) — the capability behind algorithm selection across the
+// whole algorithm zoo and mapping optimization.
+//
+// ScatterTree and GatherTree are structural predictions: the empirical
+// irregularity parameters of linear gather (eq 5) apply only to
+// GatherLinear, because the escalations are a property of the flat
+// many-to-one pattern.
+type TreePredictor interface {
+	Predictor
+	// ScatterTree predicts a scatter of m-byte blocks over the tree.
+	ScatterTree(tree *collective.Tree, m int) float64
+	// GatherTree predicts a gather of m-byte blocks over the tree.
+	GatherTree(tree *collective.Tree, m int) float64
+	// BcastTree predicts an m-byte broadcast over the tree.
+	BcastTree(tree *collective.Tree, m int) float64
+	// ReduceTree predicts an m-byte reduction over the tree.
+	ReduceTree(tree *collective.Tree, m int) float64
+}
+
+// Compile-time checks.
+var (
+	_ TreePredictor = (*Hockney)(nil)
+	_ TreePredictor = (*HetHockney)(nil)
+	_ TreePredictor = (*LogP)(nil)
+	_ TreePredictor = (*LogGP)(nil)
+	_ TreePredictor = (*PLogP)(nil)
+	_ TreePredictor = (*LMOX)(nil)
+)
+
+// Conflated models predict any tree with the eq (1)-style recursion
+// over their point-to-point formula.
+
+// ScatterTree implements TreePredictor.
+func (h *Hockney) ScatterTree(tree *collective.Tree, m int) float64 {
+	return treeRecursive(tree, scatterBytes(tree, m), h.P2P)
+}
+
+// GatherTree implements TreePredictor; indistinguishable from scatter
+// under the Hockney model.
+func (h *Hockney) GatherTree(tree *collective.Tree, m int) float64 {
+	return h.ScatterTree(tree, m)
+}
+
+// BcastTree implements TreePredictor.
+func (h *Hockney) BcastTree(tree *collective.Tree, m int) float64 {
+	return treeRecursive(tree, bcastBytes(m), h.P2P)
+}
+
+// ReduceTree implements TreePredictor.
+func (h *Hockney) ReduceTree(tree *collective.Tree, m int) float64 {
+	return h.BcastTree(tree, m)
+}
+
+// ScatterTree implements TreePredictor.
+func (h *HetHockney) ScatterTree(tree *collective.Tree, m int) float64 {
+	return treeRecursive(tree, scatterBytes(tree, m), h.P2P)
+}
+
+// GatherTree implements TreePredictor.
+func (h *HetHockney) GatherTree(tree *collective.Tree, m int) float64 {
+	return h.ScatterTree(tree, m)
+}
+
+// BcastTree implements TreePredictor.
+func (h *HetHockney) BcastTree(tree *collective.Tree, m int) float64 {
+	return treeRecursive(tree, bcastBytes(m), h.P2P)
+}
+
+// ReduceTree implements TreePredictor.
+func (h *HetHockney) ReduceTree(tree *collective.Tree, m int) float64 {
+	return h.BcastTree(tree, m)
+}
+
+// ScatterTree implements TreePredictor.
+func (l *LogP) ScatterTree(tree *collective.Tree, m int) float64 {
+	return treeRecursive(tree, scatterBytes(tree, m), l.P2P)
+}
+
+// GatherTree implements TreePredictor.
+func (l *LogP) GatherTree(tree *collective.Tree, m int) float64 {
+	return l.ScatterTree(tree, m)
+}
+
+// BcastTree implements TreePredictor.
+func (l *LogP) BcastTree(tree *collective.Tree, m int) float64 {
+	return treeRecursive(tree, bcastBytes(m), l.P2P)
+}
+
+// ReduceTree implements TreePredictor.
+func (l *LogP) ReduceTree(tree *collective.Tree, m int) float64 {
+	return l.BcastTree(tree, m)
+}
+
+// ScatterTree implements TreePredictor.
+func (l *LogGP) ScatterTree(tree *collective.Tree, m int) float64 {
+	return treeRecursive(tree, scatterBytes(tree, m), l.P2P)
+}
+
+// GatherTree implements TreePredictor.
+func (l *LogGP) GatherTree(tree *collective.Tree, m int) float64 {
+	return l.ScatterTree(tree, m)
+}
+
+// BcastTree implements TreePredictor.
+func (l *LogGP) BcastTree(tree *collective.Tree, m int) float64 {
+	return treeRecursive(tree, bcastBytes(m), l.P2P)
+}
+
+// ReduceTree implements TreePredictor.
+func (l *LogGP) ReduceTree(tree *collective.Tree, m int) float64 {
+	return l.BcastTree(tree, m)
+}
+
+// ScatterTree implements TreePredictor.
+func (p *PLogP) ScatterTree(tree *collective.Tree, m int) float64 {
+	return treeRecursive(tree, scatterBytes(tree, m), p.P2P)
+}
+
+// GatherTree implements TreePredictor.
+func (p *PLogP) GatherTree(tree *collective.Tree, m int) float64 {
+	return p.ScatterTree(tree, m)
+}
+
+// BcastTree implements TreePredictor.
+func (p *PLogP) BcastTree(tree *collective.Tree, m int) float64 {
+	return treeRecursive(tree, bcastBytes(m), p.P2P)
+}
+
+// ReduceTree implements TreePredictor.
+func (p *PLogP) ReduceTree(tree *collective.Tree, m int) float64 {
+	return p.BcastTree(tree, m)
+}
+
+// The LMO model predicts trees with the separated recursion: the
+// parent's per-message processing serializes while wires and the
+// children's processing overlap.
+
+// ScatterTree implements TreePredictor.
+func (x *LMOX) ScatterTree(tree *collective.Tree, m int) float64 {
+	return treeSeparated(tree, scatterBytes(tree, m), x.SendCost, x.WireCost, x.RecvCost)
+}
+
+// GatherTree implements TreePredictor: the up-tree critical path
+// mirrors the down-tree one under the separated model.
+func (x *LMOX) GatherTree(tree *collective.Tree, m int) float64 {
+	return treeSeparated(tree, scatterBytes(tree, m), x.RecvCost2, x.WireCostRev, x.SendCost2)
+}
+
+// BcastTree implements TreePredictor.
+func (x *LMOX) BcastTree(tree *collective.Tree, m int) float64 {
+	return treeSeparated(tree, bcastBytes(m), x.SendCost, x.WireCost, x.RecvCost)
+}
+
+// ReduceTree implements TreePredictor. Reduction adds the combine work
+// at each interior node, which the model folds into the receive
+// processing term (the operands are combined as they are received).
+func (x *LMOX) ReduceTree(tree *collective.Tree, m int) float64 {
+	return treeSeparated(tree, bcastBytes(m), x.RecvCost2, x.WireCostRev, x.SendCost2)
+}
+
+// BcastBinomial predicts the binomial broadcast, the shape package mpi
+// implements.
+func (x *LMOX) BcastBinomial(root, n, m int) float64 {
+	x.checkN(n)
+	return x.BcastTree(collective.Binomial(n, root), m)
+}
+
+// ReduceBinomial predicts the binomial reduction.
+func (x *LMOX) ReduceBinomial(root, n, m int) float64 {
+	x.checkN(n)
+	return x.ReduceTree(collective.Binomial(n, root), m)
+}

@@ -1,0 +1,250 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+)
+
+// Alg selects a collective algorithm.
+type Alg int
+
+// Collective algorithms implemented by this package.
+const (
+	Linear   Alg = iota // flat tree: the root talks to everyone directly
+	Binomial            // binomial tree, as in Fig 2
+	Binary              // balanced binary tree over contiguous ranges
+	Chain               // chain (pipeline) tree
+)
+
+// Algorithms lists every collective algorithm.
+func Algorithms() []Alg { return []Alg{Linear, Binomial, Binary, Chain} }
+
+// String returns the algorithm name.
+func (a Alg) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case Binomial:
+		return "binomial"
+	case Binary:
+		return "binary"
+	case Chain:
+		return "chain"
+	default:
+		return fmt.Sprintf("Alg(%d)", int(a))
+	}
+}
+
+// Tree builds the communication tree the algorithm uses for n ranks
+// rooted at root.
+func (a Alg) Tree(n, root int) *collective.Tree {
+	switch a {
+	case Linear:
+		return collective.Flat(n, root)
+	case Binomial:
+		return collective.Binomial(n, root)
+	case Binary:
+		return collective.Binary(n, root)
+	case Chain:
+		return collective.Chain(n, root)
+	default:
+		panic(fmt.Sprintf("mpi: unknown algorithm %d", a))
+	}
+}
+
+func (r *Rank) tree(alg Alg, root int) *collective.Tree {
+	return alg.Tree(r.w.n, root)
+}
+
+// Scatter distributes blocks from root to every rank using the given
+// algorithm and returns this rank's block. blocks is meaningful only at
+// the root and must hold n equal-size blocks indexed by absolute rank.
+// The root's own block is returned without network cost (the paper
+// treats the root's local copy as negligible).
+func (r *Rank) Scatter(alg Alg, root int, blocks [][]byte) []byte {
+	tag := r.collTag(opScatter)
+	tree := r.tree(alg, root)
+	n := r.w.n
+	if n == 1 {
+		return blocks[root]
+	}
+
+	if r.rank == root {
+		bs := -1
+		if len(blocks) != n {
+			panic(fmt.Sprintf("mpi: scatter root has %d blocks, want %d", len(blocks), n))
+		}
+		for _, b := range blocks {
+			if bs == -1 {
+				bs = len(b)
+			} else if len(b) != bs {
+				panic("mpi: scatter blocks must have equal size")
+			}
+		}
+		for _, c := range tree.Children[root] {
+			r.send(c, tag, concatRel(blocks, tree, c))
+		}
+		return blocks[root]
+	}
+
+	payload, _ := r.Recv(tree.Parent[r.rank], tag)
+	size := tree.SubtreeSize[r.rank]
+	if size == 0 || len(payload)%size != 0 {
+		panic(fmt.Sprintf("mpi: scatter batch of %d bytes not divisible by subtree size %d", len(payload), size))
+	}
+	bs := len(payload) / size
+	lo, _ := tree.RelRange(r.rank)
+	for _, c := range tree.Children[r.rank] {
+		clo, chi := tree.RelRange(c)
+		r.send(c, tag, payload[(clo-lo)*bs:(chi-lo)*bs])
+	}
+	return payload[:bs]
+}
+
+// concatRel concatenates the blocks covered by child c's subtree in
+// relative-rank order.
+func concatRel(blocks [][]byte, tree *collective.Tree, c int) []byte {
+	lo, hi := tree.RelRange(c)
+	var out []byte
+	for rel := lo; rel < hi; rel++ {
+		out = append(out, blocks[(rel+tree.Root)%tree.N]...)
+	}
+	return out
+}
+
+// Gather collects equal-size blocks from every rank at root using the
+// given algorithm. At the root it returns n blocks indexed by absolute
+// rank; elsewhere it returns nil.
+func (r *Rank) Gather(alg Alg, root int, block []byte) [][]byte {
+	tag := r.collTag(opGather)
+	tree := r.tree(alg, root)
+	n := r.w.n
+	if n == 1 {
+		return [][]byte{append([]byte(nil), block...)}
+	}
+	bs := len(block)
+
+	// Assemble this subtree's batch in relative order, starting with
+	// our own block, then fill in children subtree batches as they come.
+	lo, hi := tree.RelRange(r.rank)
+	batch := make([]byte, (hi-lo)*bs)
+	copy(batch, block)
+	for range tree.Children[r.rank] {
+		payload, st := r.Recv(AnySource, tag)
+		clo, chi := tree.RelRange(st.Source)
+		if len(payload) != (chi-clo)*bs {
+			panic(fmt.Sprintf("mpi: gather batch from %d has %d bytes, want %d", st.Source, len(payload), (chi-clo)*bs))
+		}
+		copy(batch[(clo-lo)*bs:(chi-lo)*bs], payload)
+	}
+
+	if r.rank == root {
+		out := make([][]byte, n)
+		for rel := 0; rel < n; rel++ {
+			abs := (rel + root) % n
+			out[abs] = batch[rel*bs : (rel+1)*bs : (rel+1)*bs]
+		}
+		return out
+	}
+	r.send(tree.Parent[r.rank], tag, batch)
+	return nil
+}
+
+// Bcast sends data from root to every rank over a binomial tree and
+// returns the data on every rank. data is meaningful only at the root.
+func (r *Rank) Bcast(root int, data []byte) []byte {
+	tag := r.collTag(opBcast)
+	tree := collective.Binomial(r.w.n, root)
+	if r.w.n == 1 {
+		return data
+	}
+	if r.rank != root {
+		data, _ = r.Recv(tree.Parent[r.rank], tag)
+	}
+	for _, c := range tree.Children[r.rank] {
+		r.send(c, tag, data)
+	}
+	return data
+}
+
+// Reduce combines every rank's block at the root over a binomial tree
+// using op (which must be associative and commutative) and returns the
+// combined block at the root, nil elsewhere.
+func (r *Rank) Reduce(root int, block []byte, op func(a, b []byte) []byte) []byte {
+	tag := r.collTag(opReduce)
+	tree := collective.Binomial(r.w.n, root)
+	if r.w.n == 1 {
+		return append([]byte(nil), block...)
+	}
+	acc := append([]byte(nil), block...)
+	for range tree.Children[r.rank] {
+		payload, _ := r.Recv(AnySource, tag)
+		acc = op(acc, payload)
+	}
+	if r.rank == root {
+		return acc
+	}
+	r.send(tree.Parent[r.rank], tag, acc)
+	return nil
+}
+
+// Barrier synchronizes all ranks with the dissemination algorithm; it
+// has real network cost, unlike HardSync.
+func (r *Rank) Barrier() {
+	tag := r.collTag(opBarrier)
+	n := r.w.n
+	if n == 1 {
+		return
+	}
+	for k := 1; k < n; k <<= 1 {
+		to := (r.rank + k) % n
+		from := (r.rank - k + n) % n
+		r.send(to, tag, nil)
+		r.Recv(from, tag)
+	}
+}
+
+// Allgather distributes every rank's block to every rank with the ring
+// algorithm and returns n blocks indexed by absolute rank.
+func (r *Rank) Allgather(block []byte) [][]byte {
+	tag := r.collTag(opAllgather)
+	n := r.w.n
+	out := make([][]byte, n)
+	out[r.rank] = append([]byte(nil), block...)
+	if n == 1 {
+		return out
+	}
+	right := (r.rank + 1) % n
+	left := (r.rank - 1 + n) % n
+	have := r.rank // index of the block we forward next
+	for s := 0; s < n-1; s++ {
+		r.send(right, tag, out[have])
+		payload, _ := r.Recv(left, tag)
+		have = (have - 1 + n) % n
+		out[have] = payload
+	}
+	return out
+}
+
+// Alltoall exchanges personalized blocks between all ranks linearly:
+// send[i] goes to rank i, and the result's entry j holds rank j's block
+// for this rank. send[rank] is copied locally.
+func (r *Rank) Alltoall(send [][]byte) [][]byte {
+	tag := r.collTag(opAlltoall)
+	n := r.w.n
+	if len(send) != n {
+		panic(fmt.Sprintf("mpi: alltoall needs %d blocks, got %d", n, len(send)))
+	}
+	out := make([][]byte, n)
+	out[r.rank] = append([]byte(nil), send[r.rank]...)
+	for i := 1; i < n; i++ {
+		dst := (r.rank + i) % n
+		r.send(dst, tag, send[dst])
+	}
+	for i := 1; i < n; i++ {
+		payload, st := r.Recv(AnySource, tag)
+		out[st.Source] = payload
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+// Package mpi is an MPI-like SPMD message-passing layer over the
+// simulated switched cluster. It plays the role LAM/MPICH play in the
+// paper: ranks exchange tagged byte messages through point-to-point
+// primitives, and the collective operations (scatter, gather,
+// broadcast, reduce, barrier) are programmed on top of those
+// primitives using flat and binomial communication trees — the very
+// algorithms whose execution time the communication performance models
+// predict.
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+)
+
+// AnySource matches any sender in Recv.
+const AnySource = simnet.AnySource
+
+// AnyTag matches any tag in Recv.
+const AnyTag = simnet.AnyTag
+
+// Internal tag space for collectives: user tags must stay below this.
+const collTagBase = 1 << 20
+
+// MaxUserTag is the largest tag application code may use in Send/Recv.
+const MaxUserTag = collTagBase - 1
+
+// Config describes a simulated MPI job.
+type Config struct {
+	Cluster *cluster.Cluster    // the machine to run on
+	Profile *cluster.TCPProfile // TCP irregularity profile (nil = ideal)
+	Seed    int64               // randomness for the TCP layer
+}
+
+// Result reports what a completed job did.
+type Result struct {
+	Duration time.Duration   // virtual time from start to last event
+	Net      simnet.Counters // traffic statistics
+}
+
+// World is the shared state of one SPMD job.
+type World struct {
+	net  *simnet.Network
+	eng  *vtime.Engine
+	n    int
+	sync *vtime.Barrier
+	seq  []int // per-rank collective sequence numbers (must stay in lockstep)
+
+	cells   map[int]*SharedCell // harness-level shared cells by call sequence
+	cellSeq []int               // per-rank SharedCell call counters
+	commSeq map[string][]int    // per-member-set, per-rank collective sequences for Comm
+}
+
+// Rank is the handle each SPMD process receives. All methods must be
+// called from that process's goroutine.
+type Rank struct {
+	w    *World
+	p    *vtime.Proc
+	rank int
+}
+
+// Run executes body on every rank of the cluster and returns traffic
+// statistics. body runs once per rank, concurrently in virtual time.
+func Run(cfg Config, body func(r *Rank)) (Result, error) {
+	if cfg.Cluster == nil {
+		return Result{}, fmt.Errorf("mpi: nil cluster")
+	}
+	eng := vtime.NewEngine()
+	net, err := simnet.New(eng, cfg.Cluster, cfg.Profile, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	n := cfg.Cluster.N()
+	w := &World{
+		net: net, eng: eng, n: n,
+		sync:    vtime.NewBarrier(eng, n),
+		seq:     make([]int, n),
+		cells:   make(map[int]*SharedCell),
+		cellSeq: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Go(fmt.Sprintf("rank%d", i), func(p *vtime.Proc) {
+			body(&Rank{w: w, p: p, rank: i})
+		})
+	}
+	if err := eng.Run(); err != nil {
+		return Result{}, err
+	}
+	return Result{Duration: eng.Now(), Net: net.Counters()}, nil
+}
+
+// Rank returns this process's rank.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the number of ranks.
+func (r *Rank) Size() int { return r.w.n }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() time.Duration { return r.p.Now() }
+
+// Sleep models local computation for d of virtual time.
+func (r *Rank) Sleep(d time.Duration) { r.p.Sleep(d) }
+
+// Proc exposes the underlying simulation process (for benchmarking
+// layers that need engine access).
+func (r *Rank) Proc() *vtime.Proc { return r.p }
+
+// Network exposes the underlying simulated network.
+func (r *Rank) Network() *simnet.Network { return r.w.net }
+
+// Status describes a received message.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int
+}
+
+// Send transmits data to rank dst with a user tag (0..MaxUserTag). It
+// returns when the local CPU is free again (eager semantics).
+func (r *Rank) Send(dst, tag int, data []byte) {
+	if tag < 0 || tag > MaxUserTag {
+		panic(fmt.Sprintf("mpi: user tag %d out of range", tag))
+	}
+	r.send(dst, tag, data)
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns
+// its payload. src may be AnySource, tag may be AnyTag.
+func (r *Rank) Recv(src, tag int) ([]byte, Status) {
+	msg := r.w.net.Recv(r.p, r.rank, src, tag)
+	return msg.Payload, Status{Source: msg.Src, Tag: msg.Tag, Bytes: len(msg.Payload)}
+}
+
+// send is the internal untagged-range-checked variant used by
+// collectives too.
+func (r *Rank) send(dst, tag int, data []byte) {
+	r.w.net.Send(r.p, r.rank, dst, tag, data)
+}
+
+// HardSync aligns all ranks at the same virtual instant at zero cost.
+// It is measurement-harness machinery (isolating benchmark
+// repetitions), not a model of MPI_Barrier — use Barrier for a costed
+// one.
+func (r *Rank) HardSync() { r.w.sync.Wait(r.p) }
+
+// collTag returns a fresh internal tag for the next collective call on
+// this rank. SPMD lockstep keeps the per-rank sequence numbers aligned,
+// so all ranks of one collective agree on the tag while distinct
+// collective invocations never cross-match.
+func (r *Rank) collTag(op int) int {
+	seq := r.w.seq[r.rank]
+	r.w.seq[r.rank]++
+	return collTagBase + seq*16 + op
+}
+
+// Collective op codes folded into internal tags.
+const (
+	opScatter = iota
+	opGather
+	opBcast
+	opReduce
+	opBarrier
+	opAllgather
+	opAlltoall
+)

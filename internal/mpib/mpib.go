@@ -1,0 +1,156 @@
+// Package mpib is the benchmarking library of the reproduction, the
+// counterpart of MPIBlib [12]: it measures the execution time of
+// communication operations with adaptive repetition until a Student-t
+// confidence interval is tight enough (the paper uses confidence level
+// 95% and relative error 2.5%), and offers the timing methods the
+// paper discusses — measuring on one designated process (the sender /
+// root side, "fast and quite accurate for collective operations on a
+// small number of processors") or taking the maximum over all
+// processes (the global makespan).
+package mpib
+
+import (
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+// Timing selects how one repetition's duration is derived.
+type Timing int
+
+const (
+	// RootTiming uses the interval observed on the designated rank, the
+	// paper's sender-side method used for estimation experiments.
+	RootTiming Timing = iota
+	// MaxTiming uses the maximum interval over all ranks — the global
+	// makespan, appropriate for observing collective operations.
+	MaxTiming
+)
+
+// String returns the timing-method name.
+func (t Timing) String() string {
+	if t == RootTiming {
+		return "root"
+	}
+	return "max"
+}
+
+// Options control the adaptive repetition loop. The zero value is
+// replaced by the paper's defaults.
+type Options struct {
+	Confidence float64 // confidence level; default 0.95
+	RelErr     float64 // target relative error of the CI; default 0.025
+	MinReps    int     // repetitions before the stopping rule applies; default 5
+	MaxReps    int     // hard cap; default 100
+}
+
+// withDefaults fills unset fields with the paper's values.
+func (o Options) withDefaults() Options {
+	if o.Confidence == 0 {
+		o.Confidence = 0.95
+	}
+	if o.RelErr == 0 {
+		o.RelErr = 0.025
+	}
+	if o.MinReps == 0 {
+		o.MinReps = 5
+	}
+	if o.MaxReps == 0 {
+		o.MaxReps = 100
+	}
+	if o.MaxReps < o.MinReps {
+		o.MaxReps = o.MinReps
+	}
+	return o
+}
+
+// Measurement is the result of an adaptive measurement; all ranks
+// receive identical values.
+type Measurement struct {
+	stats.Summary
+	Samples []float64     // per-repetition durations in seconds
+	Elapsed time.Duration // virtual time the whole measurement consumed
+}
+
+// Seconds returns the mean duration in seconds (convenience alias).
+func (m Measurement) Seconds() float64 { return m.Mean }
+
+// Measure runs op repeatedly on all ranks until the confidence interval
+// of its duration is within opts.RelErr, and returns the identical
+// Measurement on every rank. op is invoked collectively: every rank
+// must call Measure at the same point, and op must itself be a
+// collective (or locally empty) action. The roles:
+//
+//   - every repetition starts from a HardSync so ranks are aligned;
+//   - each rank times its local part of op;
+//   - the per-repetition sample is either the designated rank's local
+//     time (RootTiming) or the maximum over ranks (MaxTiming).
+func Measure(r *mpi.Rank, designated int, timing Timing, opts Options, op func()) Measurement {
+	opts = opts.withDefaults()
+	n := r.Size()
+
+	// Shared per-repetition duration slots; each rank keeps its own
+	// samples slice because, after the sync, every rank derives an
+	// identical sample value and hence an identical stopping decision.
+	cell := r.SharedCell()
+	if cell.V == nil {
+		cell.V = make([]float64, n)
+	}
+	locals := cell.V.([]float64)
+
+	var samples []float64
+	r.HardSync()
+	start := r.Now()
+	for {
+		r.HardSync()
+		t0 := r.Now()
+		op()
+		locals[r.Rank()] = (r.Now() - t0).Seconds()
+		r.HardSync() // every rank has written its local duration
+
+		var sample float64
+		switch timing {
+		case RootTiming:
+			sample = locals[designated]
+		default:
+			sample = stats.Max(locals)
+		}
+		samples = append(samples, sample)
+		if len(samples) >= opts.MaxReps {
+			break
+		}
+		if len(samples) >= opts.MinReps {
+			if s := stats.Summarize(samples, opts.Confidence); s.RelErr() <= opts.RelErr {
+				break
+			}
+		}
+	}
+
+	return Measurement{
+		Summary: stats.Summarize(samples, opts.Confidence),
+		Samples: samples,
+		Elapsed: r.Now() - start,
+	}
+}
+
+// MeasureOnce runs op a single repetition per rank and returns the
+// duration according to the timing method, without the adaptive loop.
+// Useful for one-shot observations where the caller handles statistics.
+func MeasureOnce(r *mpi.Rank, designated int, timing Timing, op func()) float64 {
+	n := r.Size()
+	cell := r.SharedCell()
+	if cell.V == nil {
+		cell.V = make([]float64, n)
+	}
+	locals := cell.V.([]float64)
+	r.HardSync()
+	t0 := r.Now()
+	op()
+	locals[r.Rank()] = (r.Now() - t0).Seconds()
+	r.HardSync()
+	if timing == RootTiming {
+		return locals[designated]
+	}
+	return stats.Max(locals)
+}

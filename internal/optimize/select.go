@@ -1,0 +1,73 @@
+package optimize
+
+import (
+	"math"
+
+	"repro/internal/models"
+	"repro/internal/mpi"
+)
+
+// SelectScatterAlgAmong picks the algorithm with the smallest predicted
+// scatter time among candidates (all four when candidates is nil),
+// using the model's tree predictions. It returns the chosen algorithm
+// and its predicted time.
+func SelectScatterAlgAmong(p models.TreePredictor, root, n, m int, candidates []mpi.Alg) (mpi.Alg, float64) {
+	return selectAmong(p, root, n, m, candidates, func(p models.TreePredictor, alg mpi.Alg) float64 {
+		if alg == mpi.Linear {
+			return p.ScatterLinear(root, n, m) // keep the flat-tree special form
+		}
+		return p.ScatterTree(alg.Tree(n, root), m)
+	})
+}
+
+// SelectGatherAlgAmong picks the algorithm with the smallest predicted
+// gather time among candidates (all four when candidates is nil).
+func SelectGatherAlgAmong(p models.TreePredictor, root, n, m int, candidates []mpi.Alg) (mpi.Alg, float64) {
+	return selectAmong(p, root, n, m, candidates, func(p models.TreePredictor, alg mpi.Alg) float64 {
+		if alg == mpi.Linear {
+			return p.GatherLinear(root, n, m) // includes the empirical branches
+		}
+		return p.GatherTree(alg.Tree(n, root), m)
+	})
+}
+
+func selectAmong(p models.TreePredictor, root, n, m int, candidates []mpi.Alg,
+	cost func(p models.TreePredictor, alg mpi.Alg) float64) (mpi.Alg, float64) {
+	if len(candidates) == 0 {
+		candidates = mpi.Algorithms()
+	}
+	best := candidates[0]
+	bestT := math.Inf(1)
+	for _, alg := range candidates {
+		if t := cost(p, alg); t < bestT {
+			best, bestT = alg, t
+		}
+	}
+	return best, bestT
+}
+
+// BestScatterRoot returns the root rank minimizing the predicted
+// linear-scatter time — on a heterogeneous cluster the root pays
+// (n-1)(C_r + M·t_r), so rooting the operation at a fast processor
+// matters (the HeteroMPI-style optimization of [10]).
+func BestScatterRoot(p models.Predictor, n, m int) (root int, predicted float64) {
+	root, predicted = 0, math.Inf(1)
+	for r := 0; r < n; r++ {
+		if t := p.ScatterLinear(r, n, m); t < predicted {
+			root, predicted = r, t
+		}
+	}
+	return root, predicted
+}
+
+// BestGatherRoot returns the root rank minimizing the predicted
+// linear-gather time.
+func BestGatherRoot(p models.Predictor, n, m int) (root int, predicted float64) {
+	root, predicted = 0, math.Inf(1)
+	for r := 0; r < n; r++ {
+		if t := p.GatherLinear(r, n, m); t < predicted {
+			root, predicted = r, t
+		}
+	}
+	return root, predicted
+}

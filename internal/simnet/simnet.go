@@ -1,0 +1,282 @@
+// Package simnet simulates a computational cluster built around a
+// single switch, the paper's target platform. It substitutes for the
+// physical 16-node Ethernet cluster of Table I.
+//
+// The simulator implements mechanisms, not model formulas:
+//
+//   - Sending a message holds the sender's CPU for C_src + M·t_src —
+//     consecutive sends from one node serialize (this is what makes
+//     the root's part of linear scatter sequential).
+//   - The wire takes L_ij + M/β_ij; the switch forwards flows to
+//     distinct destinations in parallel (transfers do not hold the
+//     sender), so transmissions overlap, as eq (4)'s max expresses.
+//     Transmissions on the same directed link serialize — the path has
+//     finite bandwidth — which also preserves MPI's non-overtaking
+//     guarantee between a pair of ranks.
+//   - Receiving holds the receiver's CPU for C_dst + M·t_dst, so a
+//     gather root processes incoming messages one after another.
+//   - The TCP profile injects the observed irregularities: the
+//     point-to-point leap past LeapAt bytes, escalations of concurrent
+//     medium-size flows into one destination, and full ingress
+//     serialization for messages larger than M2.
+//
+// Collective operation times therefore emerge from event interleaving
+// and can genuinely diverge from any analytical model — which is the
+// property the paper's evaluation depends on.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/vtime"
+)
+
+// AnySource matches any sending node in Recv.
+const AnySource = -1
+
+// AnyTag matches any message tag in Recv.
+const AnyTag = -1
+
+// Message is a delivered network message.
+type Message struct {
+	Src, Dst   int
+	Tag        int
+	Payload    []byte
+	SentAt     time.Duration // when the sender's CPU began processing it
+	InjectedAt time.Duration // when it entered the wire
+	ArrivedAt  time.Duration // when it reached the destination's mailbox
+}
+
+// Counters accumulate traffic statistics for reports and tests.
+type Counters struct {
+	Messages    int
+	Bytes       int64
+	Escalations int
+	Serialized  int // transfers that went through a serialized ingress port
+}
+
+// Network is the simulated switched cluster.
+type Network struct {
+	eng  *vtime.Engine
+	cl   *cluster.Cluster
+	prof *cluster.TCPProfile
+	rng  *rand.Rand
+
+	cpus        []*vtime.Resource // one per node, capacity 1
+	conds       []*vtime.Cond     // mailbox wakeups, one per node
+	boxes       [][]*Message      // pending messages per destination
+	linkFree    [][]time.Duration // per directed link: when its transmission slot frees
+	ingressFree []time.Duration   // per node: when its serialized ingress port frees
+	inflight    [][]int           // inflight[dst][src]: concurrent wire transfers per flow
+
+	counters Counters
+	tracer   func(ev TraceEvent)
+}
+
+// New builds a network over the engine for the given cluster and TCP
+// profile. The seed drives the escalation randomness; everything else
+// is deterministic.
+func New(eng *vtime.Engine, cl *cluster.Cluster, prof *cluster.TCPProfile, seed int64) (*Network, error) {
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	if prof == nil {
+		prof = cluster.Ideal()
+	}
+	n := cl.N()
+	net := &Network{
+		eng:         eng,
+		cl:          cl,
+		prof:        prof,
+		rng:         rand.New(rand.NewSource(seed)),
+		cpus:        make([]*vtime.Resource, n),
+		conds:       make([]*vtime.Cond, n),
+		boxes:       make([][]*Message, n),
+		linkFree:    make([][]time.Duration, n),
+		ingressFree: make([]time.Duration, n),
+		inflight:    make([][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		net.cpus[i] = vtime.NewResource(eng, fmt.Sprintf("cpu%d", i), 1)
+		net.conds[i] = vtime.NewCond(eng)
+		net.linkFree[i] = make([]time.Duration, n)
+		net.inflight[i] = make([]int, n)
+	}
+	return net, nil
+}
+
+// Engine returns the underlying simulation engine.
+func (n *Network) Engine() *vtime.Engine { return n.eng }
+
+// Cluster returns the cluster description the network simulates.
+func (n *Network) Cluster() *cluster.Cluster { return n.cl }
+
+// Profile returns the active TCP profile.
+func (n *Network) Profile() *cluster.TCPProfile { return n.prof }
+
+// Counters returns a snapshot of the traffic counters.
+func (n *Network) Counters() Counters { return n.counters }
+
+// SenderCost returns the CPU time node src spends to send m bytes
+// (C_src + m·t_src). Exposed for white-box tests and documentation.
+func (n *Network) SenderCost(src, m int) time.Duration {
+	nd := n.cl.Nodes[src]
+	return nd.C + time.Duration(float64(m)*nd.T*float64(time.Second))
+}
+
+// ReceiverCost returns the CPU time node dst spends to receive m bytes.
+func (n *Network) ReceiverCost(dst, m int) time.Duration {
+	return n.SenderCost(dst, m) // same C + m·t form
+}
+
+// WireTime returns the uncontended wire time for m bytes from src to
+// dst: L_ij + m/β_ij plus any TCP leap.
+func (n *Network) WireTime(src, dst, m int) time.Duration {
+	l := n.cl.Links[src][dst]
+	base := l.L + time.Duration(float64(m)/l.Beta*float64(time.Second))
+	return base + n.prof.LeapExtra(m)
+}
+
+// Send transmits payload from src to dst with the given tag. It must be
+// called by the process running on node src. It returns when the
+// sender's CPU is free again (eager semantics); the wire transfer and
+// delivery proceed asynchronously.
+func (n *Network) Send(p *vtime.Proc, src, dst, tag int, payload []byte) {
+	if src == dst {
+		panic("simnet: self-send not supported; local copies are modelled as free")
+	}
+	if dst < 0 || dst >= n.cl.N() {
+		panic(fmt.Sprintf("simnet: bad destination %d", dst))
+	}
+	m := len(payload)
+	msg := &Message{Src: src, Dst: dst, Tag: tag, Payload: payload, SentAt: p.Now()}
+	n.trace(TraceSendStart, p.Now(), msg, false)
+
+	// 1. Sender CPU processing: serializes consecutive sends and
+	// contends with receive processing on the same node.
+	n.cpus[src].Use(p, 1, n.SenderCost(src, m))
+
+	// 2. Wire phase: parallel through the switch, with TCP effects.
+	now := p.Now()
+	msg.InjectedAt = now
+	link := n.cl.Links[src][dst]
+	transfer := time.Duration(float64(m) / link.Beta * float64(time.Second))
+	leap := n.prof.LeapExtra(m)
+
+	// The transmission segment occupies the directed link i→j: messages
+	// between the same pair serialize (and therefore never overtake),
+	// while flows to distinct destinations pass the switch in parallel.
+	seg := transfer + leap
+	// Medium-size flows into a destination contended by OTHER senders
+	// may escalate: an RTO-like stall that blocks the flow for its
+	// duration. A single sender's pipelined messages share one
+	// connection and do not collide with themselves — the escalations
+	// are a many-to-one phenomenon (§III).
+	escalated := false
+	if !n.prof.SerializesIngress(m) && n.othersInflight(dst, src) > 0 {
+		if pr := n.prof.EscalationProb(m); pr > 0 && n.rng.Float64() < pr {
+			seg += n.prof.PickEscalation(n.rng.Float64())
+			n.counters.Escalations++
+			escalated = true
+		}
+	}
+	start := now
+	if n.linkFree[src][dst] > start {
+		start = n.linkFree[src][dst]
+	}
+	if n.prof.SerializesIngress(m) {
+		// Large flows additionally serialize on the destination's
+		// ingress port across all senders.
+		if n.ingressFree[dst] > start {
+			start = n.ingressFree[dst]
+			n.counters.Serialized++
+		}
+	}
+	done := start + seg
+	n.linkFree[src][dst] = done
+	if n.prof.SerializesIngress(m) {
+		n.ingressFree[dst] = done
+	}
+	arrival := done + link.L
+
+	n.inflight[dst][src]++
+	n.counters.Messages++
+	n.counters.Bytes += int64(m)
+	n.trace(TraceInject, now, msg, escalated)
+	rendezvous := n.prof.Rendezvous > 0 && m >= n.prof.Rendezvous
+	var delivered *vtime.Cond
+	arrived := false
+	if rendezvous {
+		delivered = vtime.NewCond(n.eng)
+	}
+	n.eng.At(arrival, func() {
+		n.inflight[dst][src]--
+		msg.ArrivedAt = n.eng.Now()
+		n.boxes[dst] = append(n.boxes[dst], msg)
+		n.conds[dst].Broadcast()
+		n.trace(TraceDeliver, n.eng.Now(), msg, false)
+		if rendezvous {
+			arrived = true
+			delivered.Broadcast()
+		}
+	})
+	if rendezvous {
+		// Rendezvous protocol: the send call completes only once the
+		// message has been delivered.
+		for !arrived {
+			delivered.Wait(p)
+		}
+	}
+}
+
+// othersInflight counts wire transfers heading to dst from senders
+// other than src.
+func (n *Network) othersInflight(dst, src int) int {
+	total := 0
+	for s, c := range n.inflight[dst] {
+		if s != src {
+			total += c
+		}
+	}
+	return total
+}
+
+// match reports whether msg satisfies the (src, tag) selector.
+func match(msg *Message, src, tag int) bool {
+	return (src == AnySource || msg.Src == src) && (tag == AnyTag || msg.Tag == tag)
+}
+
+// Recv blocks the process running on node dst until a message matching
+// (src, tag) is available, charges the receiver's CPU processing time,
+// and returns the message. src may be AnySource and tag may be AnyTag.
+func (n *Network) Recv(p *vtime.Proc, dst, src, tag int) *Message {
+	for {
+		box := n.boxes[dst]
+		for i, msg := range box {
+			if match(msg, src, tag) {
+				n.boxes[dst] = append(box[:i:i], box[i+1:]...)
+				n.cpus[dst].Use(p, 1, n.ReceiverCost(dst, len(msg.Payload)))
+				n.trace(TraceRecvDone, p.Now(), msg, false)
+				return msg
+			}
+		}
+		n.conds[dst].Wait(p)
+	}
+}
+
+// Probe reports whether a matching message is already waiting at dst,
+// without consuming it.
+func (n *Network) Probe(dst, src, tag int) bool {
+	for _, msg := range n.boxes[dst] {
+		if match(msg, src, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pending returns the number of undelivered messages waiting at dst.
+func (n *Network) Pending(dst int) int { return len(n.boxes[dst]) }

@@ -1,0 +1,71 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// TraceKind labels a trace event.
+type TraceKind int
+
+// Trace event kinds, in a message's lifecycle order.
+const (
+	TraceSendStart TraceKind = iota // sender CPU begins processing
+	TraceInject                     // message enters the wire
+	TraceDeliver                    // message reaches the destination mailbox
+	TraceRecvDone                   // receiver CPU finished processing it
+)
+
+// String names the event kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSendStart:
+		return "send-start"
+	case TraceInject:
+		return "inject"
+	case TraceDeliver:
+		return "deliver"
+	case TraceRecvDone:
+		return "recv-done"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one step of a message's life, timestamped in virtual
+// time. Escalated reports whether the wire segment suffered a TCP
+// escalation (only meaningful on TraceInject).
+type TraceEvent struct {
+	Kind      TraceKind
+	At        time.Duration
+	Src, Dst  int
+	Tag       int
+	Bytes     int
+	Escalated bool
+}
+
+// String renders the event compactly, e.g. for timeline dumps.
+func (e TraceEvent) String() string {
+	esc := ""
+	if e.Escalated {
+		esc = " ESC"
+	}
+	return fmt.Sprintf("%12v %-10s %2d→%-2d tag=%d %dB%s", e.At, e.Kind, e.Src, e.Dst, e.Tag, e.Bytes, esc)
+}
+
+// SetTracer installs fn to observe every message lifecycle event; nil
+// disables tracing. The tracer runs synchronously inside the
+// simulation and must not block.
+func (n *Network) SetTracer(fn func(ev TraceEvent)) { n.tracer = fn }
+
+// trace emits an event if a tracer is installed.
+func (n *Network) trace(kind TraceKind, at time.Duration, msg *Message, escalated bool) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer(TraceEvent{
+		Kind: kind, At: at,
+		Src: msg.Src, Dst: msg.Dst, Tag: msg.Tag, Bytes: len(msg.Payload),
+		Escalated: escalated,
+	})
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	// Population variance is 4; sample (unbiased) variance is 32/7.
+	if v := Variance(xs); !almostEq(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v, want %v", v, 32.0/7.0)
+	}
+}
+
+func TestEmptyAndSingleInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdDev(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty input should give zeros")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("single-element variance should be 0")
+	}
+	if Median([]float64{3}) != 3 {
+		t.Fatal("single-element median")
+	}
+}
+
+func TestMedianEvenOdd(t *testing.T) {
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestTCriticalTableValues(t *testing.T) {
+	cases := []struct {
+		conf float64
+		df   int
+		want float64
+	}{
+		{0.95, 1, 12.706},
+		{0.95, 10, 2.228},
+		{0.95, 30, 2.042},
+		{0.95, 1000, 1.960},
+		{0.99, 5, 4.032},
+		{0.99, 1000, 2.576},
+	}
+	for _, c := range cases {
+		if got := TCritical(c.conf, c.df); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("TCritical(%v, %d) = %v, want %v", c.conf, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTCriticalInterpolatesAndClamps(t *testing.T) {
+	// df=35 lies between 30 (2.042) and 40 (2.021).
+	got := TCritical(0.95, 35)
+	if got >= 2.042 || got <= 2.021 {
+		t.Fatalf("interpolated t(35) = %v, want in (2.021, 2.042)", got)
+	}
+	if TCritical(0.95, 0) != TCritical(0.95, 1) {
+		t.Fatal("df < 1 should clamp to 1")
+	}
+}
+
+func TestTCriticalMonotoneInDF(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := TCritical(0.95, df)
+		if v > prev+1e-12 {
+			t.Fatalf("t-critical not non-increasing at df=%d: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSummarizeCI(t *testing.T) {
+	xs := []float64{10, 12, 9, 11, 10, 10, 12, 9, 11, 10}
+	s := Summarize(xs, 0.95)
+	if s.N != 10 {
+		t.Fatalf("n = %d", s.N)
+	}
+	want := TCritical(0.95, 9) * StdDev(xs) / math.Sqrt(10)
+	if !almostEq(s.CIHalf, want, 1e-12) {
+		t.Fatalf("ci = %v, want %v", s.CIHalf, want)
+	}
+	if s.RelErr() <= 0 {
+		t.Fatal("relative error should be positive for noisy sample")
+	}
+}
+
+func TestRelErrEdgeCases(t *testing.T) {
+	if (Summary{Mean: 0, CIHalf: 0}).RelErr() != 0 {
+		t.Fatal("zero/zero RelErr should be 0")
+	}
+	if !math.IsInf((Summary{Mean: 0, CIHalf: 1}).RelErr(), 1) {
+		t.Fatal("nonzero CI over zero mean should be +Inf")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Intercept, 3, 1e-12) || !almostEq(f.Slope, 2, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+	if !almostEq(f.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point should be degenerate")
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("vertical data should be degenerate")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths should error")
+	}
+}
+
+func TestFitLineRecoversNoisyLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 5+0.25*x+rng.NormFloat64()*0.01)
+	}
+	f, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Intercept, 5, 0.05) || !almostEq(f.Slope, 0.25, 0.001) {
+		t.Fatalf("fit = %+v", f)
+	}
+	if f.R2 < 0.999 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+// Property: the least-squares line through points generated from an
+// exact line recovers it regardless of the coefficients.
+func TestFitLinePropertyExactRecovery(t *testing.T) {
+	f := func(a, b float64, seed int64) bool {
+		if math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var xs, ys []float64
+		for i := 0; i < 10; i++ {
+			x := rng.Float64()*100 + float64(i) // strictly increasing, distinct
+			xs = append(xs, x)
+			ys = append(ys, a+b*x)
+		}
+		fit, err := FitLine(xs, ys)
+		if err != nil {
+			return false
+		}
+		scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+		return almostEq(fit.Intercept, a, 1e-6*scale) && almostEq(fit.Slope, b, 1e-6*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max] and variance is non-negative.
+func TestSummaryProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9 && Variance(xs) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package textplot renders simple multi-series line charts and tables
+// as text, for the experiment harness's terminal reports.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct{ X, Y float64 }
+
+// Series is a named sequence of points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// markers label series on the canvas, in order.
+const markers = "*o+x#@%&~^"
+
+// Chart renders the series onto a width×height character canvas with
+// axes and a legend. Series beyond the marker set reuse markers.
+func Chart(title, xlabel, ylabel string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // y axis anchored at 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+			minY = math.Min(minY, p.Y)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if math.IsInf(minX, 1) || maxY <= minY {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(p Point, mark byte) {
+		fx := (p.X - minX) / (maxX - minX)
+		fy := (p.Y - minY) / (maxY - minY)
+		col := int(fx * float64(width-1))
+		row := height - 1 - int(fy*float64(height-1))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = mark
+		}
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			plot(p, mark)
+		}
+	}
+
+	yTop := formatSI(maxY)
+	yBot := formatSI(minY)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, yTop)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(formatSI(maxX)), formatSI(minX), formatSI(maxX))
+	if xlabel != "" || ylabel != "" {
+		fmt.Fprintf(&b, "  x: %s   y: %s\n", xlabel, ylabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// formatSI renders a value compactly with an SI suffix.
+func formatSI(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av >= 1:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 1e-3:
+		return fmt.Sprintf("%.3gm", v*1e3)
+	case av >= 1e-6:
+		return fmt.Sprintf("%.3gµ", v*1e6)
+	default:
+		return fmt.Sprintf("%.3gn", v*1e9)
+	}
+}
+
+// Table renders rows as an aligned text table; the first row is the
+// header.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for c, cell := range row {
+			if c >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for c, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[c]+2, cell)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			for c := range widths {
+				b.WriteString(strings.Repeat("-", widths[c]) + "  ")
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Name: "alpha", Points: []Point{{0, 0}, {50, 5}, {100, 10}}},
+		{Name: "beta", Points: []Point{{0, 10}, {50, 5}, {100, 0}}},
+	}
+}
+
+func TestChartBasics(t *testing.T) {
+	out := Chart("title", "x", "y", twoSeries(), 40, 10)
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	for _, want := range []string{"alpha", "beta", "x: x", "y: y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in chart:\n%s", want, out)
+		}
+	}
+	// Both series markers must appear on the canvas.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	// Axis labels carry the x range.
+	if !strings.Contains(out, "100") {
+		t.Fatalf("missing x max label:\n%s", out)
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	out := Chart("t", "", "", nil, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart should say so:\n%s", out)
+	}
+	flat := []Series{{Name: "f", Points: []Point{{0, 0}, {1, 0}}}}
+	out = Chart("", "", "", flat, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("flat-zero chart degenerates to no data:\n%s", out)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	out := Chart("", "", "", twoSeries(), 1, 1)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Fatal("dimensions should be clamped upward")
+	}
+}
+
+func TestChartManySeriesReuseMarkers(t *testing.T) {
+	var ss []Series
+	for i := 0; i < 15; i++ {
+		ss = append(ss, Series{Name: "s", Points: []Point{{float64(i), float64(i + 1)}}})
+	}
+	out := Chart("", "", "", ss, 40, 10)
+	if strings.Count(out, "\n") < 12 {
+		t.Fatal("legend lines missing")
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1500:    "1.5k",
+		2e6:     "2M",
+		0.25:    "250m",
+		0.002:   "2m",
+		3e-6:    "3µ",
+		4e-9:    "4n",
+		-1500:   "-1.5k",
+		1048576: "1.05M",
+	}
+	for v, want := range cases {
+		if got := formatSI(v); got != want {
+			t.Errorf("formatSI(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows := [][]string{
+		{"name", "value"},
+		{"alpha", "1"},
+		{"longer-name", "2"},
+	}
+	out := Table(rows)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + separator + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("separator missing:\n%s", out)
+	}
+	if Table(nil) != "" {
+		t.Fatal("empty table should render empty")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	out := Table([][]string{{"a"}, {"b", "c", "d"}})
+	if !strings.Contains(out, "d") {
+		t.Fatalf("ragged cell lost:\n%s", out)
+	}
+}

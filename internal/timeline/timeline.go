@@ -1,0 +1,170 @@
+// Package timeline renders simulator traces as per-rank swimlanes,
+// visualizing how a collective operation's phases overlap: sender CPU
+// serialization, parallel wire transfers and receiver processing — the
+// structure the LMO model separates and the traditional models
+// conflate.
+package timeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Lane markers, by priority (later overwrite earlier).
+const (
+	markIdle = ' '
+	markWire = '~' // message in flight toward this rank
+	markRecv = 'r' // delivered, waiting for / being processed by the receiver
+	markSend = 'S' // sender CPU busy processing an outgoing message
+)
+
+// Builder accumulates trace events; install Collect as the network's
+// tracer.
+type Builder struct {
+	events []simnet.TraceEvent
+}
+
+// Collect appends one event; pass it to simnet.Network.SetTracer.
+func (b *Builder) Collect(ev simnet.TraceEvent) { b.events = append(b.events, ev) }
+
+// Events returns the collected events in arrival order.
+func (b *Builder) Events() []simnet.TraceEvent { return b.events }
+
+// Reset clears the collected events.
+func (b *Builder) Reset() { b.events = b.events[:0] }
+
+// message pairs up the lifecycle timestamps of one message.
+type message struct {
+	src, dst            int
+	sendAt, injectAt    time.Duration
+	deliverAt, recvDone time.Duration
+	haveInject          bool
+	haveDeliver         bool
+	haveEnd             bool
+}
+
+// assemble matches events into message lifecycles. Events of one
+// message arrive in order (send-start, inject, deliver, recv-done), and
+// messages on one (src,dst) flow are non-overtaking, so matching by
+// flow FIFO is exact.
+func assemble(events []simnet.TraceEvent) []*message {
+	type flow struct{ src, dst, tag int }
+	open := map[flow][]*message{}
+	var all []*message
+	for _, ev := range events {
+		f := flow{ev.Src, ev.Dst, ev.Tag}
+		switch ev.Kind {
+		case simnet.TraceSendStart:
+			m := &message{src: ev.Src, dst: ev.Dst, sendAt: ev.At}
+			open[f] = append(open[f], m)
+			all = append(all, m)
+		case simnet.TraceInject:
+			for _, m := range open[f] {
+				if !m.haveInject {
+					m.injectAt = ev.At
+					m.haveInject = true
+					break
+				}
+			}
+		case simnet.TraceDeliver:
+			for _, m := range open[f] {
+				if !m.haveDeliver {
+					m.deliverAt = ev.At
+					m.haveDeliver = true
+					break
+				}
+			}
+		case simnet.TraceRecvDone:
+			for i, m := range open[f] {
+				if m.haveDeliver && !m.haveEnd {
+					m.recvDone = ev.At
+					m.haveEnd = true
+					open[f] = append(open[f][:i:i], open[f][i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return all
+}
+
+// Render draws the swimlanes for nRanks ranks over a width-character
+// time axis. Markers: 'S' sender CPU busy, '~' message in flight
+// toward the rank, 'r' delivered-to-processed on the receiver.
+func Render(events []simnet.TraceEvent, nRanks, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	msgs := assemble(events)
+	var end time.Duration
+	for _, m := range msgs {
+		if m.recvDone > end {
+			end = m.recvDone
+		}
+		if m.deliverAt > end {
+			end = m.deliverAt
+		}
+	}
+	if end == 0 || len(msgs) == 0 {
+		return "(no traffic)\n"
+	}
+
+	lanes := make([][]byte, nRanks)
+	for i := range lanes {
+		lanes[i] = []byte(strings.Repeat(string(markIdle), width))
+	}
+	col := func(t time.Duration) int {
+		c := int(float64(t) / float64(end) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	paint := func(lane int, from, to time.Duration, mark byte) {
+		if lane < 0 || lane >= nRanks {
+			return
+		}
+		a, b := col(from), col(to)
+		for c := a; c <= b; c++ {
+			if precedence(mark) >= precedence(lanes[lane][c]) {
+				lanes[lane][c] = mark
+			}
+		}
+	}
+	for _, m := range msgs {
+		paint(m.src, m.sendAt, m.injectAt, markSend)
+		if m.haveDeliver {
+			paint(m.dst, m.injectAt, m.deliverAt, markWire)
+		}
+		if m.haveEnd {
+			paint(m.dst, m.deliverAt, m.recvDone, markRecv)
+		}
+	}
+
+	var b strings.Builder
+	for i, lane := range lanes {
+		fmt.Fprintf(&b, "rank %2d |%s|\n", i, lane)
+	}
+	fmt.Fprintf(&b, "         0%s%v\n", strings.Repeat(" ", width-len(end.String())), end)
+	b.WriteString("         S=send CPU  ~=in flight  r=deliver→processed\n")
+	return b.String()
+}
+
+func precedence(mark byte) int {
+	switch mark {
+	case markSend:
+		return 3
+	case markRecv:
+		return 2
+	case markWire:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,119 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+func traceCollective(t *testing.T, n int, body func(r *mpi.Rank)) []simnet.TraceEvent {
+	t.Helper()
+	cfg := mpi.Config{
+		Cluster: cluster.Homogeneous(n,
+			cluster.NodeSpec{C: 50 * time.Microsecond, T: 5e-9},
+			cluster.LinkSpec{L: 40 * time.Microsecond, Beta: 1e8}),
+		Profile: cluster.Ideal(),
+		Seed:    1,
+	}
+	var b Builder
+	installed := false
+	_, err := mpi.Run(cfg, func(r *mpi.Rank) {
+		if !installed {
+			r.Network().SetTracer(b.Collect)
+			installed = true
+		}
+		r.HardSync()
+		body(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Events()
+}
+
+func TestAssemblePairsLifecycles(t *testing.T) {
+	events := traceCollective(t, 4, func(r *mpi.Rank) {
+		blocks := make([][]byte, 4)
+		for i := range blocks {
+			blocks[i] = make([]byte, 1000)
+		}
+		r.Scatter(mpi.Linear, 0, blocks)
+	})
+	msgs := assemble(events)
+	if len(msgs) != 3 {
+		t.Fatalf("messages = %d, want 3", len(msgs))
+	}
+	for _, m := range msgs {
+		if !m.haveInject || !m.haveDeliver || !m.haveEnd {
+			t.Fatalf("incomplete lifecycle: %+v", m)
+		}
+		if !(m.sendAt <= m.injectAt && m.injectAt <= m.deliverAt && m.deliverAt <= m.recvDone) {
+			t.Fatalf("timestamps out of order: %+v", m)
+		}
+		if m.src != 0 {
+			t.Fatalf("scatter messages come from the root: %+v", m)
+		}
+	}
+}
+
+func TestRenderShowsSerializedRootAndParallelWires(t *testing.T) {
+	events := traceCollective(t, 4, func(r *mpi.Rank) {
+		blocks := make([][]byte, 4)
+		for i := range blocks {
+			blocks[i] = make([]byte, 20000)
+		}
+		r.Scatter(mpi.Linear, 0, blocks)
+	})
+	out := Render(events, 4, 60)
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "S") {
+		t.Fatalf("root lane should show send CPU:\n%s", out)
+	}
+	for _, lane := range lines[1:4] {
+		if !strings.Contains(lane, "~") || !strings.Contains(lane, "r") {
+			t.Fatalf("leaf lanes should show wire + receive:\n%s", out)
+		}
+		if strings.Contains(lane, "S") {
+			t.Fatalf("leaves of a scatter never send:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "S=send CPU") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if !strings.Contains(Render(nil, 4, 40), "no traffic") {
+		t.Fatal("empty render should say so")
+	}
+}
+
+func TestBuilderReset(t *testing.T) {
+	var b Builder
+	b.Collect(simnet.TraceEvent{})
+	if len(b.Events()) != 1 {
+		t.Fatal("collect failed")
+	}
+	b.Reset()
+	if len(b.Events()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRenderWidthClamp(t *testing.T) {
+	events := traceCollective(t, 2, func(r *mpi.Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, make([]byte, 100))
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	out := Render(events, 2, 1)
+	if len(strings.Split(out, "\n")) < 3 {
+		t.Fatal("width should be clamped")
+	}
+}

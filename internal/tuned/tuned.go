@@ -1,0 +1,207 @@
+// Package tuned provides model-driven, drop-in collective operations —
+// the direction of the paper's reference [10] (optimization of
+// collectives in HeteroMPI): at call time a Tuner consults an
+// estimated communication performance model to pick the collective
+// algorithm, and for gather applies the LMO empirical parameters to
+// split messages that would fall into the TCP irregularity region.
+//
+// All decisions are pure functions of the (shared) model and the call
+// shape, so every rank of an SPMD program reaches the same decision
+// without extra communication.
+package tuned
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/models"
+	"repro/internal/mpi"
+	"repro/internal/optimize"
+)
+
+// Tuner holds the model(s) driving the decisions and a decision cache.
+// A single Tuner must be shared by all ranks of a job (decisions stay
+// consistent because it is read-mostly and the simulation kernel is
+// cooperatively scheduled; in a real MPI setting each process would
+// hold an identical copy of the model file).
+type Tuner struct {
+	model models.TreePredictor
+	lmo   *models.LMOX // non-nil when the model is an LMO: enables splitting
+	n     int
+
+	cache map[decisionKey]mpi.Alg
+	stats Stats
+}
+
+// Stats counts the tuner's decisions, for reports and tests.
+type Stats struct {
+	ScatterCalls int
+	GatherCalls  int
+	Splits       int
+	CacheHits    int
+	ByAlg        map[string]int
+}
+
+type decisionKey struct {
+	op     byte // 's' or 'g'
+	root   int
+	bucket int // log2 size bucket
+}
+
+// New builds a tuner over any tree-capable model for an n-rank job.
+func New(model models.TreePredictor, n int) *Tuner {
+	t := &Tuner{model: model, n: n, cache: map[decisionKey]mpi.Alg{}}
+	t.stats.ByAlg = map[string]int{}
+	if lmo, ok := model.(*models.LMOX); ok {
+		t.lmo = lmo
+	}
+	return t
+}
+
+// Model returns the model driving the decisions.
+func (t *Tuner) Model() models.TreePredictor { return t.model }
+
+// Stats returns a snapshot of the decision counters.
+func (t *Tuner) Stats() Stats {
+	s := t.stats
+	s.ByAlg = map[string]int{}
+	for k, v := range t.stats.ByAlg {
+		s.ByAlg[k] = v
+	}
+	return s
+}
+
+// bucket maps a size to its log2 bucket so the decision cache stays
+// small while nearby sizes share decisions.
+func bucket(m int) int {
+	if m <= 0 {
+		return 0
+	}
+	return bits.Len(uint(m))
+}
+
+// scatterAlg picks (and caches) the scatter algorithm for a size.
+func (t *Tuner) scatterAlg(root, m int) mpi.Alg {
+	key := decisionKey{'s', root, bucket(m)}
+	if alg, ok := t.cache[key]; ok {
+		t.stats.CacheHits++
+		return alg
+	}
+	alg, _ := optimize.SelectScatterAlgAmong(t.model, root, t.n, m, nil)
+	t.cache[key] = alg
+	return alg
+}
+
+// gatherAlg picks (and caches) the gather algorithm for a size.
+func (t *Tuner) gatherAlg(root, m int) mpi.Alg {
+	key := decisionKey{'g', root, bucket(m)}
+	if alg, ok := t.cache[key]; ok {
+		t.stats.CacheHits++
+		return alg
+	}
+	alg, _ := optimize.SelectGatherAlgAmong(t.model, root, t.n, m, nil)
+	t.cache[key] = alg
+	return alg
+}
+
+// Scatter distributes blocks with the model-chosen algorithm.
+func (t *Tuner) Scatter(r *mpi.Rank, root int, blocks [][]byte) []byte {
+	t.checkN(r)
+	m := 0
+	if r.Rank() == root && len(blocks) > 0 {
+		m = len(blocks[0])
+	}
+	// Every rank must agree on the size; non-roots learn it from the
+	// model-independent convention that scatter block sizes are global
+	// knowledge in SPMD code (as in MPI, where recvcount is an argument).
+	m = t.agreeSize(r, root, m)
+	alg := t.scatterAlg(root, m)
+	t.stats.ScatterCalls++
+	t.stats.ByAlg[alg.String()]++
+	return r.Scatter(alg, root, blocks)
+}
+
+// Gather collects blocks with the model-chosen algorithm; when the
+// block size falls inside the LMO empirical irregularity region the
+// message is split into sub-M1 segments first (the Fig 7 optimization).
+func (t *Tuner) Gather(r *mpi.Rank, root int, block []byte) [][]byte {
+	t.checkN(r)
+	m := len(block)
+	if t.lmo != nil && optimize.ShouldSplitGather(t.lmo.Gather, m) {
+		t.stats.GatherCalls++
+		t.stats.Splits++
+		t.stats.ByAlg["split-linear"]++
+		return optimize.OptimizedGather(r, root, block, t.lmo.Gather)
+	}
+	alg := t.gatherAlg(root, m)
+	t.stats.GatherCalls++
+	t.stats.ByAlg[alg.String()]++
+	return r.Gather(alg, root, block)
+}
+
+// agreeSize shares the root's block size with every rank at harness
+// level (all ranks already know it in well-formed SPMD code; this
+// guards against roots with empty block lists).
+func (t *Tuner) agreeSize(r *mpi.Rank, root, m int) int {
+	cell := r.SharedCell()
+	if r.Rank() == root {
+		cell.V = m
+	}
+	r.HardSync()
+	return cell.V.(int)
+}
+
+func (t *Tuner) checkN(r *mpi.Rank) {
+	if r.Size() != t.n {
+		panic(fmt.Sprintf("tuned: tuner built for %d ranks, used with %d", t.n, r.Size()))
+	}
+}
+
+// ProportionalCounts distributes total bytes across processors in
+// inverse proportion to their per-byte processing cost under the LMO
+// model — fast processors receive more data, the heterogeneous
+// data-partitioning step of the paper's introduction. The counts sum
+// exactly to total; every processor receives at least minPer bytes
+// (when total allows).
+func ProportionalCounts(lmo *models.LMOX, total, minPer int) []int {
+	n := lmo.N()
+	speeds := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		t := lmo.T[i]
+		if t <= 0 {
+			t = 1e-12
+		}
+		speeds[i] = 1 / t
+		sum += speeds[i]
+	}
+	counts := make([]int, n)
+	assigned := 0
+	for i := 0; i < n; i++ {
+		c := int(float64(total) * speeds[i] / sum)
+		if c < minPer {
+			c = minPer
+		}
+		counts[i] = c
+		assigned += c
+	}
+	// Reconcile rounding drift on the fastest processors first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return speeds[order[a]] > speeds[order[b]] })
+	for i := 0; assigned != total && i < 4*n; i++ {
+		p := order[i%n]
+		switch {
+		case assigned < total:
+			counts[p]++
+			assigned++
+		case assigned > total && counts[p] > minPer:
+			counts[p]--
+			assigned--
+		}
+	}
+	return counts
+}

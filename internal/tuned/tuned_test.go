@@ -1,0 +1,240 @@
+package tuned
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/estimate"
+	"repro/internal/models"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+func homCfg(n int) mpi.Config {
+	return mpi.Config{
+		Cluster: cluster.Homogeneous(n,
+			cluster.NodeSpec{C: 50 * time.Microsecond, T: 4e-9},
+			cluster.LinkSpec{L: 40 * time.Microsecond, Beta: 1e8}),
+		Profile: cluster.Ideal(),
+		Seed:    1,
+	}
+}
+
+func lmoFor(n int) *models.LMOX {
+	x := models.NewLMOX(n)
+	for i := 0; i < n; i++ {
+		x.C[i] = 5e-5
+		x.T[i] = 4e-9
+		for j := 0; j < n; j++ {
+			if i != j {
+				x.L[i][j] = 4e-5
+				x.Beta[i][j] = 1e8
+			}
+		}
+	}
+	return x
+}
+
+func TestTunedScatterCorrectAndAdaptive(t *testing.T) {
+	const n = 16
+	tuner := New(lmoFor(n), n)
+	blocksSmall := mkBlocks(n, 64)
+	blocksBig := mkBlocks(n, 512<<10)
+	_, err := mpi.Run(homCfg(n), func(r *mpi.Rank) {
+		small := tuner.Scatter(r, 0, blocksSmall)
+		if !bytes.Equal(small, blocksSmall[r.Rank()]) {
+			t.Errorf("rank %d small block corrupted", r.Rank())
+		}
+		big := tuner.Scatter(r, 0, blocksBig)
+		if !bytes.Equal(big, blocksBig[r.Rank()]) {
+			t.Errorf("rank %d big block corrupted", r.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tuner.Stats()
+	if st.ScatterCalls != 2*n { // every rank counts its call
+		t.Fatalf("scatter calls = %d", st.ScatterCalls)
+	}
+	// Small messages and large messages should use different algorithms
+	// on a homogeneous 16-node cluster.
+	if len(st.ByAlg) < 2 {
+		t.Fatalf("tuner never adapted: %v", st.ByAlg)
+	}
+	if st.ByAlg["linear"] == 0 {
+		t.Fatalf("large scatter should use linear: %v", st.ByAlg)
+	}
+}
+
+func TestTunedGatherSplitsInIrregularRegion(t *testing.T) {
+	const n = 8
+	cfg := homCfg(n)
+	cfg.Profile = cluster.LAM()
+	cfg.Seed = 11
+	lmo := lmoFor(n)
+	lmo.Gather = models.GatherEmpirical{
+		M1: 4 << 10, M2: 64 << 10,
+		EscModes: []stats.Mode{{Value: 0.2, Count: 1}},
+		ProbLow:  0.1, ProbHigh: 0.5,
+	}
+	tuner := New(lmo, n)
+	var rootOut [][]byte
+	res, err := mpi.Run(cfg, func(r *mpi.Rank) {
+		block := bytes.Repeat([]byte{byte(r.Rank() + 1)}, 30<<10)
+		for rep := 0; rep < 10; rep++ {
+			out := tuner.Gather(r, 0, block)
+			if r.Rank() == 0 {
+				rootOut = out
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range rootOut {
+		want := bytes.Repeat([]byte{byte(i + 1)}, 30<<10)
+		if !bytes.Equal(b, want) {
+			t.Fatalf("block %d corrupted", i)
+		}
+	}
+	if res.Net.Escalations != 0 {
+		t.Fatalf("tuned gather escalated %d times; splitting should prevent it", res.Net.Escalations)
+	}
+	if tuner.Stats().Splits == 0 {
+		t.Fatal("tuner never split")
+	}
+}
+
+func TestTunedGatherPassesThroughOutsideRegion(t *testing.T) {
+	const n = 4
+	tuner := New(lmoFor(n), n) // no empirical params → no splitting
+	_, err := mpi.Run(homCfg(n), func(r *mpi.Rank) {
+		out := tuner.Gather(r, 0, make([]byte, 1<<10))
+		if r.Rank() == 0 && len(out) != n {
+			t.Errorf("gather returned %d blocks", len(out))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuner.Stats().Splits != 0 {
+		t.Fatal("unexpected split")
+	}
+}
+
+func TestDecisionCache(t *testing.T) {
+	const n = 8
+	tuner := New(lmoFor(n), n)
+	_, err := mpi.Run(homCfg(n), func(r *mpi.Rank) {
+		blocks := mkBlocks(n, 1000)
+		for i := 0; i < 5; i++ {
+			tuner.Scatter(r, 0, blocks)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tuner.Stats()
+	// 5 calls × 8 ranks = 40 decisions; all but the first hit the cache.
+	if st.CacheHits < 35 {
+		t.Fatalf("cache hits = %d, want ≥ 35", st.CacheHits)
+	}
+}
+
+func TestTunerSizeMismatchPanics(t *testing.T) {
+	tuner := New(lmoFor(4), 4)
+	_, err := mpi.Run(homCfg(5), func(r *mpi.Rank) {
+		tuner.Scatter(r, 0, mkBlocks(5, 10))
+	})
+	if err == nil {
+		t.Fatal("rank-count mismatch should fail the job")
+	}
+}
+
+func TestProportionalCounts(t *testing.T) {
+	n := 4
+	x := lmoFor(n)
+	// Processor 0 twice as fast per byte as the others.
+	x.T[0] = 2e-9
+	counts := ProportionalCounts(x, 10000, 1)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10000 {
+		t.Fatalf("counts sum to %d", total)
+	}
+	if counts[0] <= counts[1] {
+		t.Fatalf("fast processor should get more: %v", counts)
+	}
+	// Roughly 2:1 ratio.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("ratio = %v, want ≈2", ratio)
+	}
+	// minPer respected even for very slow processors.
+	x.T[3] = 1e-3
+	counts = ProportionalCounts(x, 1000, 5)
+	if counts[3] < 5 {
+		t.Fatalf("minPer violated: %v", counts)
+	}
+}
+
+func TestProportionalCountsFeedScatterv(t *testing.T) {
+	const n = 4
+	x := lmoFor(n)
+	x.T[0] = 1e-9
+	counts := ProportionalCounts(x, 8192, 1)
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		blocks[i] = bytes.Repeat([]byte{byte(i + 1)}, counts[i])
+	}
+	_, err := mpi.Run(homCfg(n), func(r *mpi.Rank) {
+		mine := r.Scatterv(mpi.Linear, 0, blocks, counts)
+		if len(mine) != counts[r.Rank()] {
+			t.Errorf("rank %d got %d bytes, want %d", r.Rank(), len(mine), counts[r.Rank()])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkBlocks(n, bs int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, bs)
+		for j := range b {
+			b[j] = byte(i*31 + j)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// Integration: a tuner fed by an actual estimation on the simulated
+// cluster must behave identically to one fed ground-truth-like params.
+func TestTunerFromEstimatedModel(t *testing.T) {
+	cfg := mpi.Config{Cluster: cluster.Table1().Prefix(6), Profile: cluster.Ideal(), Seed: 1}
+	lmo, _, err := estimate.LMOX(cfg, estimate.Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner := New(lmo, 6)
+	_, err = mpi.Run(cfg, func(r *mpi.Rank) {
+		out := tuner.Gather(r, 0, []byte{byte(r.Rank())})
+		if r.Rank() == 0 {
+			for i := range out {
+				if out[i][0] != byte(i) {
+					t.Errorf("block %d corrupted", i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

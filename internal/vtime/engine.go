@@ -1,0 +1,214 @@
+// Package vtime implements a deterministic discrete-event simulation
+// kernel with coroutine-style processes.
+//
+// An Engine owns a virtual clock and an event queue. Processes are
+// goroutines that cooperate with the engine so that exactly one
+// goroutine (either the engine or a single process) runs at any moment.
+// Events with equal timestamps fire in scheduling order, which makes a
+// simulation fully deterministic for a deterministic program.
+//
+// The package provides the synchronization primitives needed by the
+// network simulator built on top of it: Sleep (advance local time),
+// Resource (FIFO counting semaphore, used for CPUs and ports) and Cond
+// (condition variable in virtual time, used for mailboxes).
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+
+	yield chan struct{} // a process hands control back to the engine
+
+	liveProcs   int // processes that have been started and not finished
+	blockedSync int // processes parked in a Resource/Cond queue (no pending event)
+
+	running  bool
+	nextID   int
+	panicErr error  // first panic raised by a process body
+	maxSteps uint64 // safety valve; 0 means unlimited
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// SetMaxSteps bounds the number of events the engine will process in
+// Run; exceeding the bound makes Run return an error. Zero (the
+// default) means unlimited. Useful as a runaway guard in tests.
+func (e *Engine) SetMaxSteps(n uint64) { e.maxSteps = n }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+type event struct {
+	t   time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (e *Engine) schedule(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+}
+
+// At schedules fn to run in engine context at absolute virtual time t
+// (clamped to now). fn must not block.
+func (e *Engine) At(t time.Duration, fn func()) { e.schedule(t, fn) }
+
+// After schedules fn to run in engine context d after the current time.
+// fn must not block.
+func (e *Engine) After(d time.Duration, fn func()) { e.schedule(e.now+d, fn) }
+
+// Proc is a simulated process. All Proc methods must be called from the
+// goroutine running the process body.
+type Proc struct {
+	e      *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the engine-unique process id.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.e.now }
+
+// Go starts a new process executing body. It may be called before Run
+// or from a running process or event callback. The process begins at
+// the current virtual time.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	e.nextID++
+	p := &Proc{e: e, id: e.nextID, name: name, resume: make(chan struct{})}
+	e.liveProcs++
+	go func() {
+		<-p.resume // wait for the engine to hand us control
+		defer func() {
+			if r := recover(); r != nil && e.panicErr == nil {
+				e.panicErr = fmt.Errorf("vtime: process %q panicked: %v", p.name, r)
+			}
+			p.done = true
+			e.liveProcs--
+			e.yield <- struct{}{} // give control back for good
+		}()
+		body(p)
+	}()
+	e.schedule(e.now, func() { e.transferTo(p) })
+	return p
+}
+
+// transferTo hands control to p and waits until p parks or finishes.
+// Runs in engine context.
+func (e *Engine) transferTo(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// park suspends the calling process until something resumes it.
+func (p *Proc) park() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process's local time by d, modelling the process
+// being busy (or idle) for that long. Other events proceed meanwhile.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.e
+	e.schedule(e.now+d, func() { e.transferTo(p) })
+	p.park()
+}
+
+// Yield lets all other events scheduled at the current instant run
+// before the process continues. Equivalent to Sleep(0).
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// blockSync parks the process with no pending event; a Resource or Cond
+// holds it in a queue and is responsible for waking it later.
+func (p *Proc) blockSync() {
+	p.e.blockedSync++
+	p.park()
+}
+
+// wakeSync schedules p to resume at the current virtual time. It is the
+// counterpart of blockSync and may be called from engine context or
+// from another process.
+func (e *Engine) wakeSync(p *Proc) {
+	e.blockedSync--
+	e.schedule(e.now, func() { e.transferTo(p) })
+}
+
+// DeadlockError is returned by Run when processes remain blocked on
+// synchronization with no pending events.
+type DeadlockError struct {
+	Blocked int
+	Time    time.Duration
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("vtime: deadlock at %v: %d process(es) blocked with no pending events", d.Time, d.Blocked)
+}
+
+// Run processes events until none remain. It returns a *DeadlockError
+// if processes remain blocked on a Resource or Cond when the event
+// queue drains, or an error if the step bound is exceeded.
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("vtime: engine already running")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	var steps uint64
+	for e.events.Len() > 0 {
+		if e.maxSteps > 0 {
+			steps++
+			if steps > e.maxSteps {
+				return fmt.Errorf("vtime: exceeded %d steps at %v", e.maxSteps, e.now)
+			}
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		ev.fn()
+		if e.panicErr != nil {
+			return e.panicErr
+		}
+	}
+	if e.blockedSync > 0 {
+		return &DeadlockError{Blocked: e.blockedSync, Time: e.now}
+	}
+	return nil
+}

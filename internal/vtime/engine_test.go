@@ -1,0 +1,483 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var end time.Duration
+	e.Go("a", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		p.Sleep(5 * time.Millisecond)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 15*time.Millisecond {
+		t.Fatalf("end = %v, want 15ms", end)
+	}
+	if e.Now() != 15*time.Millisecond {
+		t.Fatalf("engine now = %v, want 15ms", e.Now())
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEngine()
+	e.Go("a", func(p *Proc) { p.Sleep(-time.Second) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("now = %v, want 0", e.Now())
+	}
+}
+
+func TestParallelProcessesOverlap(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.Go("p", func(p *Proc) { p.Sleep(100 * time.Millisecond) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 100*time.Millisecond {
+		t.Fatalf("10 parallel sleeps took %v, want 100ms", e.Now())
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		var order []int
+		for i := 0; i < 8; i++ {
+			e.Go("p", func(p *Proc) {
+				p.Sleep(time.Duration(8-i%3) * time.Millisecond)
+				order = append(order, i)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("missing completions: %v %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic order: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at equal time fired out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Go("a", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		p.Engine().After(3*time.Millisecond, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*time.Millisecond {
+		t.Fatalf("callback at %v, want 5ms", at)
+	}
+}
+
+func TestAtClampsToNow(t *testing.T) {
+	e := NewEngine()
+	fired := time.Duration(-1)
+	e.Go("a", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		e.At(time.Millisecond, func() { fired = e.Now() }) // in the past
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5*time.Millisecond {
+		t.Fatalf("past event fired at %v, want clamped to 5ms", fired)
+	}
+}
+
+func TestGoFromProcess(t *testing.T) {
+	e := NewEngine()
+	var childEnd time.Duration
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		e.Go("child", func(c *Proc) {
+			c.Sleep(time.Millisecond)
+			childEnd = c.Now()
+		})
+		p.Sleep(10 * time.Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childEnd != 2*time.Millisecond {
+		t.Fatalf("child ended at %v, want 2ms", childEnd)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu", 1)
+	var ends []time.Duration
+	for i := 0; i < 3; i++ {
+		e.Go("p", func(p *Proc) {
+			r.Use(p, 1, 10*time.Millisecond)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceCapacityTwoAllowsPairs(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "dual", 2)
+	var maxEnd time.Duration
+	for i := 0; i < 4; i++ {
+		e.Go("p", func(p *Proc) {
+			r.Use(p, 1, 10*time.Millisecond)
+			if p.Now() > maxEnd {
+				maxEnd = p.Now()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxEnd != 20*time.Millisecond {
+		t.Fatalf("4 jobs on capacity-2 resource finished at %v, want 20ms", maxEnd)
+	}
+}
+
+func TestResourceFIFONoBarging(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 2)
+	var order []string
+	// Holder takes both units; then "big" (needs 2) arrives before
+	// "small" (needs 1). When one unit frees, small must NOT overtake big.
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Sleep(10 * time.Millisecond)
+		r.Release(1)
+		p.Sleep(10 * time.Millisecond)
+		r.Release(1)
+	})
+	e.Go("big", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		r.Acquire(p, 2)
+		order = append(order, "big")
+		r.Release(2)
+	})
+	e.Go("small", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		r.Acquire(p, 1)
+		order = append(order, "small")
+		r.Release(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Fatalf("order = %v, want [big small]", order)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	e.Go("a", func(p *Proc) {
+		if !r.TryAcquire(1) {
+			t.Error("first TryAcquire failed")
+		}
+		if r.TryAcquire(1) {
+			t.Error("second TryAcquire succeeded on full resource")
+		}
+		r.Release(1)
+		if !r.TryAcquire(1) {
+			t.Error("TryAcquire after release failed")
+		}
+		r.Release(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondSignalWakesInFIFO(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond) // arrival order 0,1,2
+			c.Wait(p)
+			order = append(order, i)
+		})
+	}
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		c.Signal()
+		p.Sleep(time.Millisecond)
+		c.Signal()
+		p.Sleep(time.Millisecond)
+		c.Signal()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("wake order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Go("w", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	e.Go("b", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		c.Broadcast()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	e.Go("stuck", func(p *Proc) { c.Wait(p) })
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if de.Blocked != 1 {
+		t.Fatalf("blocked = %d, want 1", de.Blocked)
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, 4)
+	var times []time.Duration
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			p.Sleep(time.Duration(i*3) * time.Millisecond)
+			b.Wait(p)
+			times = append(times, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 4 {
+		t.Fatalf("only %d parties released", len(times))
+	}
+	for _, at := range times {
+		if at != 9*time.Millisecond {
+			t.Fatalf("release times %v, want all 9ms", times)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, 2)
+	rounds := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			for r := 0; r < 5; r++ {
+				p.Sleep(time.Duration(i+1) * time.Millisecond)
+				b.Wait(p)
+				if i == 0 {
+					rounds++
+				}
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 5 {
+		t.Fatalf("rounds = %d, want 5", rounds)
+	}
+	// Each round gated by the slower party (2ms).
+	if e.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v, want 10ms", e.Now())
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	e := NewEngine()
+	e.SetMaxSteps(100)
+	e.Go("spin", func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("expected step-bound error")
+	}
+}
+
+func TestRunTwiceSequentially(t *testing.T) {
+	e := NewEngine()
+	e.Go("a", func(p *Proc) { p.Sleep(time.Millisecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Adding more work and running again continues from current time.
+	e.Go("b", func(p *Proc) { p.Sleep(time.Millisecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 2*time.Millisecond {
+		t.Fatalf("now = %v, want 2ms", e.Now())
+	}
+}
+
+func TestProcessPanicSurfacesAsError(t *testing.T) {
+	e := NewEngine()
+	e.Go("boom", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		panic("kaput")
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected panic to surface as Run error")
+	}
+	if _, isDeadlock := err.(*DeadlockError); isDeadlock {
+		t.Fatalf("got deadlock error, want panic error: %v", err)
+	}
+}
+
+// Property: under random acquire/use/release workloads the resource
+// never exceeds capacity and every process completes.
+func TestResourcePropertyRandomWorkload(t *testing.T) {
+	for seed := 1; seed <= 8; seed++ {
+		s := uint64(seed) * 0x9E3779B97F4A7C15
+		rnd := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(n))
+		}
+		e := NewEngine()
+		capacity := int64(rnd(4) + 1)
+		r := NewResource(e, "r", capacity)
+		maxSeen := int64(0)
+		completed := 0
+		procs := rnd(10) + 2
+		for i := 0; i < procs; i++ {
+			units := int64(rnd(int(capacity)) + 1)
+			hold := time.Duration(rnd(5)+1) * time.Millisecond
+			delay := time.Duration(rnd(10)) * time.Millisecond
+			e.Go("w", func(p *Proc) {
+				p.Sleep(delay)
+				r.Acquire(p, units)
+				if r.InUse() > maxSeen {
+					maxSeen = r.InUse()
+				}
+				p.Sleep(hold)
+				r.Release(units)
+				completed++
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if maxSeen > capacity {
+			t.Fatalf("seed %d: in-use %d exceeded capacity %d", seed, maxSeen, capacity)
+		}
+		if completed != procs {
+			t.Fatalf("seed %d: %d of %d processes completed", seed, completed, procs)
+		}
+		if r.InUse() != 0 || r.QueueLen() != 0 {
+			t.Fatalf("seed %d: resource not drained", seed)
+		}
+	}
+}
+
+// Property: virtual time observed by any process is non-decreasing
+// across arbitrary interleavings of sleeps and synchronization.
+func TestClockMonotonicityProperty(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	r := NewResource(e, "r", 2)
+	violated := false
+	for i := 0; i < 12; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			last := p.Now()
+			check := func() {
+				if p.Now() < last {
+					violated = true
+				}
+				last = p.Now()
+			}
+			p.Sleep(time.Duration(i%4) * time.Millisecond)
+			check()
+			r.Use(p, 1, time.Millisecond)
+			check()
+			if i%3 == 0 {
+				c.Broadcast()
+			} else {
+				p.Sleep(time.Duration(i) * time.Microsecond)
+			}
+			check()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("virtual clock went backwards")
+	}
+}
