@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig1..fig7, table1, table2, estcost, irreg) or 'all'")
+		exp     = flag.String("exp", "all", "experiment id (fig1..fig7, table1, table2, estcost, irreg, faults, ...; see -list) or 'all'")
 		mpiName = flag.String("mpi", "lam", "MPI implementation profile: lam, mpich or ideal")
 		seed    = flag.Int64("seed", 1, "TCP randomness seed")
 		root    = flag.Int("root", 0, "collective root rank")

@@ -18,6 +18,9 @@
 //     detection;
 //   - model-based optimization: collective-algorithm selection, gather
 //     splitting and binomial-tree mapping;
+//   - deterministic fault injection (link loss with RTO stalls, link
+//     degradation windows, stragglers, node crashes) with
+//     outlier-robust measurement and degradation-tolerant estimation;
 //   - an experiment harness regenerating every figure and table of the
 //     paper's evaluation.
 //
@@ -35,6 +38,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/estimate"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/models"
 	"repro/internal/mpi"
 	"repro/internal/mpib"
@@ -115,6 +119,43 @@ const AnySource = mpi.AnySource
 
 // AnyTag matches any tag in Rank.Recv.
 const AnyTag = mpi.AnyTag
+
+// Fault injection. A FaultPlan installed on a System (WithFaults)
+// deterministically injects link loss, link degradation, stragglers
+// and crashes into every run; the same seed reproduces the same
+// faults and results.
+type (
+	// FaultPlan schedules the fault events of a run (nil = none).
+	FaultPlan = faults.Plan
+	// LinkLoss injects per-transfer packet loss with RTO retransmission.
+	LinkLoss = faults.LinkLoss
+	// LinkDegrade multiplies a link's latency and divides its bandwidth
+	// over a virtual-time window.
+	LinkDegrade = faults.LinkDegrade
+	// Straggler inflates one node's CPU costs by a constant factor.
+	Straggler = faults.Straggler
+	// Crash stops a node at a scheduled virtual time.
+	Crash = faults.Crash
+	// FaultStats counts what the injector actually did during a run.
+	FaultStats = faults.Stats
+	// CrashError reports a job that could not complete because a node
+	// crashed (returned by Run instead of deadlocking).
+	CrashError = mpi.CrashError
+	// TimeoutError reports an expired SendTimeout/RecvTimeout deadline.
+	TimeoutError = mpi.TimeoutError
+	// InputError reports invalid user input to a communication call.
+	InputError = mpi.InputError
+	// DroppedExp identifies an estimation experiment excluded from the
+	// redundancy averaging because its measurement was unreliable.
+	DroppedExp = estimate.DroppedExp
+)
+
+// AnyNode matches every node index in a fault plan's link selectors.
+const AnyNode = faults.Any
+
+// DemoFaults builds the reference fault plan of the robustness
+// experiment: a lossy link, a degraded link and a straggler node.
+var DemoFaults = faults.Demo
 
 // Measurement and estimation.
 type (
@@ -238,6 +279,19 @@ func NewSystem(cl *Cluster, prof *TCPProfile, seed int64) *System {
 // Cluster returns the system's cluster description.
 func (s *System) Cluster() *Cluster { return s.cfg.Cluster }
 
+// WithFaults installs a fault plan on the system (nil removes it) and
+// returns the system for chaining. Every subsequent Run, measurement
+// and estimation executes under the plan; faults are drawn from a
+// dedicated RNG stream derived from the system seed, so runs remain
+// deterministic and an empty plan leaves them bit-identical.
+func (s *System) WithFaults(p *FaultPlan) *System {
+	s.cfg.Faults = p
+	return s
+}
+
+// Faults returns the system's installed fault plan (nil when none).
+func (s *System) Faults() *FaultPlan { return s.cfg.Faults }
+
 // Run executes an SPMD body on every rank of the simulated cluster.
 func (s *System) Run(body func(r *Rank)) (JobResult, error) {
 	return mpi.Run(s.cfg, body)
@@ -323,6 +377,7 @@ func (s *System) Experiment(id string) (*ExperimentReport, error) {
 	cfg.Cluster = s.cfg.Cluster
 	cfg.Profile = s.cfg.Profile
 	cfg.Seed = s.cfg.Seed
+	cfg.Faults = s.cfg.Faults
 	return r.Run(cfg)
 }
 

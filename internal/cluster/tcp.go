@@ -124,6 +124,29 @@ func (p *TCPProfile) SerializesIngress(m int) bool {
 	return p.M2 > 0 && m > p.M2
 }
 
+// BaseRTO returns the profile's dominant escalation stall — the
+// implementation's effective TCP retransmission timeout. The fault
+// injection layer uses it as the default retransmission stall for
+// lossy links, so injected packet loss matches the magnitude of the
+// RTO phenomenon the profile already models. Profiles without
+// escalation modes fall back to 200 ms, the classic RTO floor.
+func (p *TCPProfile) BaseRTO() time.Duration {
+	best, bestW := time.Duration(0), -1.0
+	for i, d := range p.EscDelays {
+		w := 1.0
+		if i < len(p.EscWeights) {
+			w = p.EscWeights[i]
+		}
+		if w > bestW {
+			best, bestW = d, w
+		}
+	}
+	if best <= 0 {
+		return 200 * time.Millisecond
+	}
+	return best
+}
+
 // PickEscalation selects an escalation stall using u ∈ [0,1) against
 // the weighted delay modes. It returns 0 when no modes are configured.
 func (p *TCPProfile) PickEscalation(u float64) time.Duration {

@@ -51,12 +51,30 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Report summarizes an estimation procedure's cost, the paper's §IV
-// efficiency concern.
+// Report summarizes an estimation procedure's cost (the paper's §IV
+// efficiency concern) and, on faulty platforms, how gracefully the
+// procedure degraded.
 type Report struct {
 	Cost        time.Duration // total virtual time the estimation took
 	Experiments int           // number of distinct experiments performed
 	Repetitions int           // total repetitions across experiments
+
+	// Robustness accounting (all zero on a clean run).
+	Retries      int          // re-measurement attempts across all rounds
+	NonConverged int          // measurements whose CI missed the target
+	Dropped      []DroppedExp // experiments excluded from eq-(12) averaging
+	// Confidence[x], when non-nil, is the fraction of processor x's
+	// redundant triplet contributions that survived dropping (1 = all).
+	Confidence []float64
+}
+
+// DroppedExp identifies a one-to-two experiment whose measurement was
+// judged unreliable and therefore excluded from the redundancy
+// averaging of eq (12).
+type DroppedExp struct {
+	Initiator int     // the experiment's initiator x
+	Lo, Hi    int     // the two non-initiators of T_x{lo,hi}
+	RelErr    float64 // the CI relative error that caused the drop
 }
 
 // Exp is one experiment of a round: Body runs on every rank (inactive
@@ -73,11 +91,24 @@ type Exp struct {
 	Custom *float64
 }
 
+// RoundSummary is one experiment's result from measureRound: its
+// sample summary (over the samples surviving outlier rejection) plus
+// the robustness metadata the degradation-aware estimators consume.
+type RoundSummary struct {
+	stats.Summary
+	Converged bool // the CI met the RelErr target
+	Reps      int  // repetitions actually run
+	Rejected  int  // samples dropped by outlier rejection
+	Retries   int  // re-measurement attempts of the round (same for all its experiments)
+}
+
 // measureRound runs a set of experiments on mutually disjoint processor
 // groups simultaneously, repeating until every experiment's
-// initiator-side sample has converged per opts, and returns one Summary
-// per experiment (identical on every rank).
-func measureRound(r *mpi.Rank, opts mpib.Options, exps []Exp) []stats.Summary {
+// initiator-side sample has converged per opts, and returns one summary
+// per experiment (identical on every rank). With opts.Retries > 0, a
+// round in which some experiment's CI failed to close within MaxReps is
+// re-measured after a doubling virtual-time backoff, up to the bound.
+func measureRound(r *mpi.Rank, opts mpib.Options, exps []Exp) []RoundSummary {
 	opts = withMpibDefaults(opts)
 	n := r.Size()
 
@@ -87,46 +118,81 @@ func measureRound(r *mpi.Rank, opts mpib.Options, exps []Exp) []stats.Summary {
 	}
 	locals := cell.V.([]float64)
 
-	samples := make([][]float64, len(exps))
-	for {
-		r.HardSync()
-		t0 := r.Now()
-		for _, e := range exps {
-			e.Body(r)
-		}
-		locals[r.Rank()] = (r.Now() - t0).Seconds()
-		// An initiator with a custom sub-interval publishes it instead
-		// (a round's experiments have disjoint groups, so each rank
-		// initiates at most one).
-		for _, e := range exps {
-			if e.Initiator == r.Rank() && e.Custom != nil {
-				locals[r.Rank()] = *e.Custom
-			}
-		}
-		r.HardSync()
+	converged := func(s stats.Summary) bool {
+		return s.N >= opts.MinReps && s.RelErr() <= opts.RelErr
+	}
+	summarize := func(xs []float64) (stats.Summary, int) {
+		return stats.RobustSummarize(xs, opts.Confidence, opts.OutlierMAD)
+	}
 
-		done := true
-		for i, e := range exps {
-			v := locals[e.Initiator]
-			samples[i] = append(samples[i], v)
-			if len(samples[i]) >= opts.MaxReps {
-				continue
+	samples := make([][]float64, len(exps))
+	budget := opts.MaxReps
+	retries := 0
+	backoff := opts.Backoff
+	for {
+		for {
+			r.HardSync()
+			t0 := r.Now()
+			for _, e := range exps {
+				e.Body(r)
 			}
-			if len(samples[i]) < opts.MinReps {
-				done = false
-				continue
+			locals[r.Rank()] = (r.Now() - t0).Seconds()
+			// An initiator with a custom sub-interval publishes it instead
+			// (a round's experiments have disjoint groups, so each rank
+			// initiates at most one).
+			for _, e := range exps {
+				if e.Initiator == r.Rank() && e.Custom != nil {
+					locals[r.Rank()] = *e.Custom
+				}
 			}
-			if stats.Summarize(samples[i], opts.Confidence).RelErr() > opts.RelErr {
-				done = false
+			r.HardSync()
+
+			done := true
+			for i, e := range exps {
+				v := locals[e.Initiator]
+				samples[i] = append(samples[i], v)
+				if len(samples[i]) >= budget {
+					continue
+				}
+				if len(samples[i]) < opts.MinReps {
+					done = false
+					continue
+				}
+				if s, _ := summarize(samples[i]); !converged(s) {
+					done = false
+				}
+			}
+			if done {
+				break
 			}
 		}
-		if done {
+		allConverged := true
+		for i := range exps {
+			if s, _ := summarize(samples[i]); !converged(s) {
+				allConverged = false
+				break
+			}
+		}
+		if allConverged || retries >= opts.Retries {
 			break
 		}
+		// All ranks derive the same retry decision from the same
+		// samples, so they back off and re-enter the loop in lockstep.
+		retries++
+		r.Sleep(backoff)
+		backoff *= 2
+		budget += opts.MaxReps
 	}
-	out := make([]stats.Summary, len(exps))
+	out := make([]RoundSummary, len(exps))
 	for i := range exps {
-		out[i] = stats.Summarize(samples[i], opts.Confidence)
+		s, rejected := summarize(samples[i])
+		out[i] = RoundSummary{
+			Summary:   s,
+			Converged: converged(s),
+			Reps:      len(samples[i]),
+			Rejected:  rejected,
+			Retries:   retries,
+		}
 	}
 	return out
 }
@@ -147,6 +213,9 @@ func withMpibDefaults(o mpib.Options) mpib.Options {
 	}
 	if o.MaxReps < o.MinReps {
 		o.MaxReps = o.MinReps
+	}
+	if o.Retries > 0 && o.Backoff <= 0 {
+		o.Backoff = time.Millisecond
 	}
 	return o
 }

@@ -209,6 +209,13 @@ func LMOX(cfg mpi.Config, opt Options) (*models.LMOX, Report, error) {
 		}
 	}
 
+	// suspect records the one-to-two measurements whose CI never met
+	// the target (after retries): their triplet contributions are
+	// excluded from the eq-(12) averaging below, which tolerates the
+	// loss thanks to the redundancy. Keyed like ott0/ottm; the value is
+	// the worst relative error observed.
+	suspect := make(map[[3]int]float64)
+
 	res, err := mpi.Run(cfg, func(r *mpi.Rank) {
 		// Phase 1: round-trips with empty and with M-byte messages.
 		for _, round := range pairRounds {
@@ -226,7 +233,16 @@ func LMOX(cfg mpi.Config, opt Options) (*models.LMOX, Report, error) {
 				if r.Rank() == 0 {
 					rep.Experiments += 2
 					rep.Repetitions += s0[x].N + sm[x].N
+					if !s0[x].Converged {
+						rep.NonConverged++
+					}
+					if !sm[x].Converged {
+						rep.NonConverged++
+					}
 				}
+			}
+			if r.Rank() == 0 && len(s0) > 0 {
+				rep.Retries += s0[0].Retries + sm[0].Retries
 			}
 		}
 		// Phase 2: one-to-two experiments; each unordered round runs
@@ -259,10 +275,28 @@ func LMOX(cfg mpi.Config, opt Options) (*models.LMOX, Report, error) {
 					key := [3]int{inits[x], lo, hi}
 					ott0[key] = s0[x].Mean
 					ottm[key] = sm[x].Mean
+					if !s0[x].Converged || !sm[x].Converged {
+						worst := s0[x].RelErr()
+						if e := sm[x].RelErr(); e > worst {
+							worst = e
+						}
+						if e, ok := suspect[key]; !ok || worst > e {
+							suspect[key] = worst
+						}
+					}
 					if r.Rank() == 0 {
 						rep.Experiments += 2
 						rep.Repetitions += s0[x].N + sm[x].N
+						if !s0[x].Converged {
+							rep.NonConverged++
+						}
+						if !sm[x].Converged {
+							rep.NonConverged++
+						}
 					}
+				}
+				if r.Rank() == 0 && len(s0) > 0 {
+					rep.Retries += s0[0].Retries + sm[0].Retries
 				}
 			}
 		}
@@ -276,10 +310,22 @@ func LMOX(cfg mpi.Config, opt Options) (*models.LMOX, Report, error) {
 	// for eq (12) averaging; the link parameters then follow directly
 	// from every pair's round-trips with the averaged C and t (the
 	// per-triplet L/β instances of eq 12 average to exactly this).
+	//
+	// Graceful degradation: a processor's contribution from a triplet
+	// whose one-to-two measurement is suspect is kept out of the
+	// average — eq (12)'s redundancy (every processor appears in many
+	// triplets) covers the gap. Should every contribution of some
+	// processor be suspect, the drop is abandoned for that processor
+	// and the suspect values are used anyway: a degraded estimate
+	// beats none, and Confidence exposes the situation.
 	model := models.NewLMOX(n)
 	sumC := make([]float64, n)
 	sumT := make([]float64, n)
 	cntCT := make([]int, n)
+	sumCAll := make([]float64, n)
+	sumTAll := make([]float64, n)
+	cntAll := make([]int, n)
+	droppedSeen := make(map[[3]int]bool)
 
 	for _, tr := range triplets {
 		tt := TripletTimes{
@@ -295,16 +341,37 @@ func LMOX(cfg mpi.Config, opt Options) (*models.LMOX, Report, error) {
 		}
 		sol := SolveTriplet(tt)
 		for _, x := range []int{tr.I, tr.J, tr.K} {
+			lo, hi := minmax2(otherTwo(tr, x))
+			key := [3]int{x, lo, hi}
+			sumCAll[x] += sol.C[x]
+			sumTAll[x] += sol.T[x]
+			cntAll[x]++
+			if relErr, bad := suspect[key]; bad {
+				if !droppedSeen[key] {
+					droppedSeen[key] = true
+					rep.Dropped = append(rep.Dropped, DroppedExp{Initiator: x, Lo: lo, Hi: hi, RelErr: relErr})
+				}
+				continue
+			}
 			sumC[x] += sol.C[x]
 			sumT[x] += sol.T[x]
 			cntCT[x]++
 		}
 	}
 
+	rep.Confidence = make([]float64, n)
 	for x := 0; x < n; x++ {
-		if cntCT[x] > 0 {
+		switch {
+		case cntCT[x] > 0:
 			model.C[x] = sumC[x] / float64(cntCT[x])
 			model.T[x] = sumT[x] / float64(cntCT[x])
+			if cntAll[x] > 0 {
+				rep.Confidence[x] = float64(cntCT[x]) / float64(cntAll[x])
+			}
+		case cntAll[x] > 0:
+			// Every contribution suspect: fall back to the full average.
+			model.C[x] = sumCAll[x] / float64(cntAll[x])
+			model.T[x] = sumTAll[x] / float64(cntAll[x])
 		}
 	}
 	mf := float64(opt.MsgSize)

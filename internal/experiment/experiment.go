@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/estimate"
+	"repro/internal/faults"
 	"repro/internal/models"
 	"repro/internal/mpi"
 	"repro/internal/mpib"
@@ -29,6 +30,7 @@ type Config struct {
 	ObsReps  int                 // repetitions per observation point
 	Est      estimate.Options    // estimation options (parallel schedules by default)
 	ScanReps int                 // repetitions per size in the irregularity scan
+	Faults   *faults.Plan        // fault plan injected into every run (nil = none)
 }
 
 // Default returns the paper's setting: the 16-node heterogeneous
@@ -75,7 +77,7 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) mpiConfig() mpi.Config {
-	return mpi.Config{Cluster: c.Cluster, Profile: c.Profile, Seed: c.Seed}
+	return mpi.Config{Cluster: c.Cluster, Profile: c.Profile, Seed: c.Seed, Faults: c.Faults}
 }
 
 // TableBlock is a captioned text table inside a report.

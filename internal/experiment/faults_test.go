@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestFaultsReport(t *testing.T) {
+	rep, err := FaultsExp(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "faults" || len(rep.Series) != 4 {
+		t.Fatalf("report shape: id=%q series=%d", rep.ID, len(rep.Series))
+	}
+	// The accounting table holds a header plus one row per platform;
+	// the last cell of each row is the prediction error, "12.3%".
+	acc := rep.Tables[0].Rows
+	if len(acc) != 3 {
+		t.Fatalf("accounting rows = %d, want 3", len(acc))
+	}
+	parsePct := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("unparsable error cell %q: %v", cell, err)
+		}
+		return v / 100
+	}
+	errClean := parsePct(acc[1][len(acc[1])-1])
+	errFaulty := parsePct(acc[2][len(acc[2])-1])
+	// Each model must predict its own platform; the faulty estimation
+	// is allowed a degraded but bounded accuracy.
+	if limit := math.Max(3*errClean, 0.10); errFaulty > limit {
+		t.Fatalf("faulty prediction error %.1f%% exceeds limit %.1f%% (clean %.1f%%)",
+			100*errFaulty, 100*limit, 100*errClean)
+	}
+	// The plan table must describe the demo plan's three fault kinds.
+	var kinds []string
+	for _, row := range rep.Tables[1].Rows[1:] {
+		kinds = append(kinds, row[0])
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"loss", "degrade", "straggler"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("plan table misses %q: %v", want, kinds)
+		}
+	}
+	if len(rep.Notes) == 0 {
+		t.Fatal("report has no notes")
+	}
+}
+
+func TestFaultsReportHonorsConfiguredPlan(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Sizes = []int{8 << 10, 64 << 10}
+	cfg.ObsReps = 4
+	cfg.Faults = &faults.Plan{Stragglers: []faults.Straggler{{Node: 1, CPUX: 3}}}
+	rep, err := FaultsExp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[1].Rows
+	if len(rows) != 2 || rows[1][0] != "straggler" {
+		t.Fatalf("plan table should show only the configured straggler: %v", rows)
+	}
+	// A pure straggler plan loses no packets.
+	act := rep.Tables[2].Rows[1]
+	if act[0] != "0" {
+		t.Fatalf("straggler-only plan lost packets: %v", act)
+	}
+}

@@ -36,6 +36,7 @@ func Runners() []Runner {
 		{"scaling", "Estimation scaling with cluster size", Scaling},
 		{"collectives", "Extension: LMO tree predictions for bcast/reduce/binary/chain", Collectives},
 		{"transfer", "§III: LAM-estimated model applied to an MPICH cluster", Transfer},
+		{"faults", "Robustness: LMO estimation under a seeded fault plan", FaultsExp},
 	}
 }
 

@@ -1,0 +1,334 @@
+// Package faults is the deterministic fault-injection layer of the
+// simulated cluster. It generalizes the TCP escalation machinery of
+// internal/simnet — a planted RTO fault the paper's estimation
+// procedure has to survive and characterize — into a full catalogue of
+// the failures real clusters throw at measurement campaigns:
+//
+//   - per-link packet loss with RTO-style retransmission stalls
+//     (exponential backoff, bounded retransmissions);
+//   - transient link degradation: latency and bandwidth multipliers
+//     active over a virtual-time window;
+//   - straggler nodes whose CPU costs are inflated by a constant
+//     factor;
+//   - node crashes at a scheduled virtual time, after which the node
+//     neither sends nor receives.
+//
+// A Plan is pure data; an Injector compiles it with a seeded RNG
+// stream. All randomness is drawn from that stream in simulation-event
+// order, and the simulation kernel is single-threaded and
+// deterministic, so the same seed yields the same faults, the same
+// timings and the same results — the property every reproduction
+// experiment and regression test in this repository relies on.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Any matches every node index in a link selector.
+const Any = -1
+
+// LinkLoss injects packet loss on the directed link Src→Dst: each wire
+// transfer independently loses its first packet with probability Prob
+// and pays an RTO retransmission stall, repeating (with exponentially
+// growing timeouts) until a retransmission succeeds or MaxRetrans is
+// reached. This is exactly the mechanism behind the paper's gather
+// escalations, made available on any link at any size.
+type LinkLoss struct {
+	Src, Dst int           // node indices; Any matches all
+	Prob     float64       // per-transfer loss probability in [0,1)
+	RTO      time.Duration // first retransmission timeout; 0 = injector default
+	Backoff  float64       // RTO growth per successive loss; <=0 means 2
+	MaxRetr  int           // retransmission cap per transfer; <=0 means 8
+}
+
+// LinkDegrade multiplies the latency and divides the bandwidth of the
+// directed link Src→Dst during [From, Until) of virtual time. An Until
+// not after From means the window never closes.
+type LinkDegrade struct {
+	Src, Dst int           // node indices; Any matches all
+	From     time.Duration // window start (virtual time)
+	Until    time.Duration // window end; <= From means open-ended
+	LatencyX float64       // multiplier on L_ij; <=0 means 1 (no change)
+	RateX    float64       // multiplier on β_ij; <=0 means 1 (no change)
+}
+
+// Straggler inflates one node's CPU costs (both the fixed C and the
+// per-byte t contributions) by CPUX for the whole run.
+type Straggler struct {
+	Node int
+	CPUX float64 // multiplier; <=0 means 1
+}
+
+// Crash stops a node at virtual time At: its process terminates the
+// next time it touches the network, messages addressed to it are
+// black-holed, and peers blocked on it surface a typed error.
+type Crash struct {
+	Node int
+	At   time.Duration
+}
+
+// Plan is a schedule of fault events for one simulation run.
+// The zero value (or a nil *Plan) injects nothing.
+type Plan struct {
+	Loss       []LinkLoss
+	Degrade    []LinkDegrade
+	Stragglers []Straggler
+	Crashes    []Crash
+}
+
+// Empty reports whether the plan injects no faults at all.
+func (p *Plan) Empty() bool {
+	return p == nil ||
+		len(p.Loss) == 0 && len(p.Degrade) == 0 &&
+			len(p.Stragglers) == 0 && len(p.Crashes) == 0
+}
+
+// Validate checks the plan against a cluster of n nodes.
+func (p *Plan) Validate(n int) error {
+	if p == nil {
+		return nil
+	}
+	node := func(kind string, idx int, wildcard bool) error {
+		if idx >= n || idx < 0 && !(wildcard && idx == Any) {
+			return fmt.Errorf("faults: %s refers to node %d of a %d-node cluster", kind, idx, n)
+		}
+		return nil
+	}
+	for _, l := range p.Loss {
+		if err := node("loss", l.Src, true); err != nil {
+			return err
+		}
+		if err := node("loss", l.Dst, true); err != nil {
+			return err
+		}
+		if l.Prob < 0 || l.Prob >= 1 {
+			return fmt.Errorf("faults: loss probability %v outside [0,1)", l.Prob)
+		}
+	}
+	for _, d := range p.Degrade {
+		if err := node("degradation", d.Src, true); err != nil {
+			return err
+		}
+		if err := node("degradation", d.Dst, true); err != nil {
+			return err
+		}
+		if d.LatencyX < 0 || d.RateX < 0 {
+			return fmt.Errorf("faults: negative degradation factor on link %d->%d", d.Src, d.Dst)
+		}
+	}
+	for _, s := range p.Stragglers {
+		if err := node("straggler", s.Node, false); err != nil {
+			return err
+		}
+	}
+	for _, c := range p.Crashes {
+		if err := node("crash", c.Node, false); err != nil {
+			return err
+		}
+		if c.At < 0 {
+			return fmt.Errorf("faults: crash of node %d at negative time %v", c.Node, c.At)
+		}
+	}
+	return nil
+}
+
+// Demo builds the reference fault plan of the robustness experiment
+// ("-exp faults"): one lossy link (1% loss, RTO retransmission), one
+// persistently degraded link (4× latency, half bandwidth) and one 2×
+// straggler node, scaled down for clusters smaller than the paper's 16
+// nodes. No crashes — estimation must complete.
+func Demo(n int) *Plan {
+	pick := func(i int) int { return i % n }
+	p := &Plan{
+		Loss:       []LinkLoss{{Src: pick(5), Dst: pick(0), Prob: 0.01, RTO: 40 * time.Millisecond}},
+		Stragglers: []Straggler{{Node: pick(11), CPUX: 2}},
+	}
+	if a, b := pick(3), pick(7); a != b {
+		p.Degrade = []LinkDegrade{
+			{Src: a, Dst: b, LatencyX: 4, RateX: 0.5},
+			{Src: b, Dst: a, LatencyX: 4, RateX: 0.5},
+		}
+	}
+	return p
+}
+
+// Stats counts what an injector actually did; deterministic per seed.
+type Stats struct {
+	Lost    int           // packets lost (each triggering a retransmission stall)
+	Stalled time.Duration // total retransmission stall time added
+	Crashes int           // crash events fired
+}
+
+// Injector is a compiled Plan bound to a seeded RNG stream. The zero
+// value and the nil pointer are inert: every method returns its
+// neutral answer, so callers need no nil checks.
+type Injector struct {
+	plan       Plan
+	rng        *rand.Rand
+	defaultRTO time.Duration
+	cpux       map[int]float64
+	crash      map[int]time.Duration
+	stats      Stats
+}
+
+// NewInjector compiles the plan with its own RNG stream derived from
+// seed. defaultRTO backs LinkLoss entries with RTO zero (the simulator
+// passes the TCP profile's base RTO so loss stalls match the observed
+// escalation magnitudes).
+func NewInjector(p *Plan, seed int64, defaultRTO time.Duration) *Injector {
+	if p == nil {
+		p = &Plan{}
+	}
+	if defaultRTO <= 0 {
+		defaultRTO = 200 * time.Millisecond
+	}
+	in := &Injector{
+		plan: *p,
+		// A fixed multiplier decouples the fault stream from the TCP
+		// escalation stream seeded with the raw seed: adding a fault plan
+		// must not reshuffle the escalations of the underlying run.
+		rng:        rand.New(rand.NewSource(seed*0x9E3779B9 + 0x6A09E667)),
+		defaultRTO: defaultRTO,
+		cpux:       map[int]float64{},
+		crash:      map[int]time.Duration{},
+	}
+	for _, s := range p.Stragglers {
+		if s.CPUX > 0 {
+			in.cpux[s.Node] = s.CPUX
+		}
+	}
+	for _, c := range p.Crashes {
+		if t, ok := in.crash[c.Node]; !ok || c.At < t {
+			in.crash[c.Node] = c.At
+		}
+	}
+	return in
+}
+
+// matches reports whether a (src, dst) selector covers the link.
+func matches(selSrc, selDst, src, dst int) bool {
+	return (selSrc == Any || selSrc == src) && (selDst == Any || selDst == dst)
+}
+
+// TransferStall draws the retransmission stall for one wire transfer
+// on src→dst and returns the total stall plus the number of packets
+// lost. It consumes RNG values only for matching loss entries, in plan
+// order, keeping the stream deterministic.
+func (in *Injector) TransferStall(src, dst int) (time.Duration, int) {
+	if in == nil || len(in.plan.Loss) == 0 {
+		return 0, 0
+	}
+	var stall time.Duration
+	lost := 0
+	for _, l := range in.plan.Loss {
+		if l.Prob <= 0 || !matches(l.Src, l.Dst, src, dst) {
+			continue
+		}
+		rto := l.RTO
+		if rto <= 0 {
+			rto = in.defaultRTO
+		}
+		backoff := l.Backoff
+		if backoff <= 0 {
+			backoff = 2
+		}
+		maxRetr := l.MaxRetr
+		if maxRetr <= 0 {
+			maxRetr = 8
+		}
+		for k := 0; k < maxRetr && in.rng.Float64() < l.Prob; k++ {
+			stall += rto
+			rto = time.Duration(float64(rto) * backoff)
+			lost++
+		}
+	}
+	in.stats.Lost += lost
+	in.stats.Stalled += stall
+	return stall, lost
+}
+
+// LinkFactors returns the latency and rate multipliers active on link
+// src→dst at virtual time at. Overlapping windows compose by
+// multiplication.
+func (in *Injector) LinkFactors(src, dst int, at time.Duration) (latX, rateX float64) {
+	latX, rateX = 1, 1
+	if in == nil {
+		return
+	}
+	for _, d := range in.plan.Degrade {
+		if !matches(d.Src, d.Dst, src, dst) {
+			continue
+		}
+		if at < d.From || (d.Until > d.From && at >= d.Until) {
+			continue
+		}
+		if d.LatencyX > 0 {
+			latX *= d.LatencyX
+		}
+		if d.RateX > 0 {
+			rateX *= d.RateX
+		}
+	}
+	return
+}
+
+// CPUFactor returns the CPU cost multiplier of the node (1 when it is
+// not a straggler).
+func (in *Injector) CPUFactor(node int) float64 {
+	if in == nil {
+		return 1
+	}
+	if x, ok := in.cpux[node]; ok {
+		return x
+	}
+	return 1
+}
+
+// CrashTime returns the node's scheduled crash time, if any.
+func (in *Injector) CrashTime(node int) (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	t, ok := in.crash[node]
+	return t, ok
+}
+
+// Crashing lists the nodes with a scheduled crash, in index order
+// (deterministic; map iteration order must not leak into the event
+// schedule).
+func (in *Injector) Crashing() []int {
+	if in == nil || len(in.crash) == 0 {
+		return nil
+	}
+	max := 0
+	for n := range in.crash {
+		if n > max {
+			max = n
+		}
+	}
+	var out []int
+	for n := 0; n <= max; n++ {
+		if _, ok := in.crash[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NoteCrash records a fired crash event in the stats.
+func (in *Injector) NoteCrash() {
+	if in != nil {
+		in.stats.Crashes++
+	}
+}
+
+// Stats returns a snapshot of what the injector has done so far.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}

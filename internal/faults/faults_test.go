@@ -1,0 +1,174 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEmptyAndNilPlans(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Fatal("nil plan must be empty")
+	}
+	if !(&Plan{}).Empty() {
+		t.Fatal("zero plan must be empty")
+	}
+	if (&Plan{Stragglers: []Straggler{{Node: 0, CPUX: 2}}}).Empty() {
+		t.Fatal("plan with a straggler is not empty")
+	}
+	if err := nilPlan.Validate(4); err != nil {
+		t.Fatalf("nil plan must validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	cases := []*Plan{
+		{Loss: []LinkLoss{{Src: 9, Dst: 0, Prob: 0.1}}},
+		{Loss: []LinkLoss{{Src: 0, Dst: 1, Prob: 1.5}}},
+		{Loss: []LinkLoss{{Src: -2, Dst: 1, Prob: 0.1}}},
+		{Degrade: []LinkDegrade{{Src: 0, Dst: 4, LatencyX: 2}}},
+		{Degrade: []LinkDegrade{{Src: 0, Dst: 1, LatencyX: -1}}},
+		{Stragglers: []Straggler{{Node: Any, CPUX: 2}}},
+		{Crashes: []Crash{{Node: 4, At: time.Second}}},
+		{Crashes: []Crash{{Node: 0, At: -time.Second}}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("case %d: plan %+v validated against 4 nodes", i, p)
+		}
+	}
+	good := &Plan{
+		Loss:       []LinkLoss{{Src: Any, Dst: 0, Prob: 0.05}},
+		Degrade:    []LinkDegrade{{Src: 1, Dst: 2, LatencyX: 4, RateX: 0.5}},
+		Stragglers: []Straggler{{Node: 3, CPUX: 2}},
+		Crashes:    []Crash{{Node: 2, At: time.Second}},
+	}
+	if err := good.Validate(4); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if d, n := in.TransferStall(0, 1); d != 0 || n != 0 {
+		t.Fatal("nil injector must not stall")
+	}
+	if lat, rate := in.LinkFactors(0, 1, 0); lat != 1 || rate != 1 {
+		t.Fatal("nil injector must return unit factors")
+	}
+	if in.CPUFactor(0) != 1 {
+		t.Fatal("nil injector must return unit CPU factor")
+	}
+	if _, ok := in.CrashTime(0); ok {
+		t.Fatal("nil injector must not crash nodes")
+	}
+	if in.Crashing() != nil {
+		t.Fatal("nil injector lists no crashing nodes")
+	}
+}
+
+// Same plan + same seed must reproduce the identical stall sequence;
+// a different seed must (for a long enough sequence) differ.
+func TestTransferStallDeterminism(t *testing.T) {
+	plan := &Plan{Loss: []LinkLoss{{Src: Any, Dst: 0, Prob: 0.3, RTO: 10 * time.Millisecond}}}
+	draw := func(seed int64) []time.Duration {
+		in := NewInjector(plan, seed, 0)
+		var out []time.Duration
+		for i := 0; i < 200; i++ {
+			d, _ := in.TransferStall(1, 0)
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical stall sequences")
+	}
+}
+
+func TestTransferStallSelectorsAndBackoff(t *testing.T) {
+	plan := &Plan{Loss: []LinkLoss{{Src: 2, Dst: 3, Prob: 0.9999, RTO: 10 * time.Millisecond, MaxRetr: 3}}}
+	in := NewInjector(plan, 1, 0)
+	if d, _ := in.TransferStall(0, 3); d != 0 {
+		t.Fatal("non-matching source must not stall")
+	}
+	// With prob ~1 every transfer hits the full retransmission ladder:
+	// 10 + 20 + 40 ms with the default 2x backoff.
+	d, lost := in.TransferStall(2, 3)
+	if want := 70 * time.Millisecond; d != want {
+		t.Fatalf("stall = %v, want %v", d, want)
+	}
+	if lost != 3 {
+		t.Fatalf("lost = %d, want 3 (MaxRetr cap)", lost)
+	}
+	st := in.Stats()
+	if st.Lost != 3 || st.Stalled != 70*time.Millisecond {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLinkFactorsWindows(t *testing.T) {
+	plan := &Plan{Degrade: []LinkDegrade{
+		{Src: 0, Dst: 1, From: time.Second, Until: 2 * time.Second, LatencyX: 4, RateX: 0.5},
+		{Src: Any, Dst: 1, From: 0, LatencyX: 2}, // open-ended, all sources
+	}}
+	in := NewInjector(plan, 1, 0)
+	if lat, rate := in.LinkFactors(0, 1, 1500*time.Millisecond); lat != 8 || rate != 0.5 {
+		t.Fatalf("inside both windows: lat %v rate %v, want 8 and 0.5", lat, rate)
+	}
+	if lat, rate := in.LinkFactors(0, 1, 3*time.Second); lat != 2 || rate != 1 {
+		t.Fatalf("after the bounded window: lat %v rate %v, want 2 and 1", lat, rate)
+	}
+	if lat, _ := in.LinkFactors(5, 1, 0); lat != 2 {
+		t.Fatalf("wildcard source window missed: lat %v", lat)
+	}
+	if lat, rate := in.LinkFactors(1, 0, 0); lat != 1 || rate != 1 {
+		t.Fatalf("unmatched link degraded: lat %v rate %v", lat, rate)
+	}
+}
+
+func TestCPUFactorAndCrashes(t *testing.T) {
+	plan := &Plan{
+		Stragglers: []Straggler{{Node: 2, CPUX: 2.5}},
+		Crashes:    []Crash{{Node: 3, At: time.Second}, {Node: 1, At: 2 * time.Second}},
+	}
+	in := NewInjector(plan, 1, 0)
+	if in.CPUFactor(2) != 2.5 || in.CPUFactor(0) != 1 {
+		t.Fatal("CPU factors wrong")
+	}
+	if at, ok := in.CrashTime(3); !ok || at != time.Second {
+		t.Fatal("crash time of node 3 wrong")
+	}
+	got := in.Crashing()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Crashing() = %v, want [1 3]", got)
+	}
+}
+
+func TestDemoPlanScalesAndValidates(t *testing.T) {
+	for _, n := range []int{3, 4, 8, 16} {
+		p := Demo(n)
+		if err := p.Validate(n); err != nil {
+			t.Fatalf("Demo(%d) invalid: %v", n, err)
+		}
+		if len(p.Loss) == 0 || len(p.Stragglers) == 0 {
+			t.Fatalf("Demo(%d) missing faults", n)
+		}
+		if len(p.Crashes) != 0 {
+			t.Fatalf("Demo(%d) must not crash nodes", n)
+		}
+	}
+}

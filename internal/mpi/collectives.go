@@ -73,13 +73,13 @@ func (r *Rank) Scatter(alg Alg, root int, blocks [][]byte) []byte {
 	if r.rank == root {
 		bs := -1
 		if len(blocks) != n {
-			panic(fmt.Sprintf("mpi: scatter root has %d blocks, want %d", len(blocks), n))
+			badInput("scatter", "root has %d blocks, want %d", len(blocks), n)
 		}
 		for _, b := range blocks {
 			if bs == -1 {
 				bs = len(b)
 			} else if len(b) != bs {
-				panic("mpi: scatter blocks must have equal size")
+				badInput("scatter", "blocks must have equal size (got %d and %d bytes)", bs, len(b))
 			}
 		}
 		for _, c := range tree.Children[root] {
@@ -234,7 +234,7 @@ func (r *Rank) Alltoall(send [][]byte) [][]byte {
 	tag := r.collTag(opAlltoall)
 	n := r.w.n
 	if len(send) != n {
-		panic(fmt.Sprintf("mpi: alltoall needs %d blocks, got %d", n, len(send)))
+		badInput("alltoall", "needs %d blocks, got %d", n, len(send))
 	}
 	out := make([][]byte, n)
 	out[r.rank] = append([]byte(nil), send[r.rank]...)

@@ -108,7 +108,7 @@ func (c *Comm) nextTag(op int) int {
 // Send transmits data to comm rank dst.
 func (c *Comm) Send(dst, tag int, data []byte) {
 	if tag < 0 || tag > MaxUserTag {
-		panic(fmt.Sprintf("mpi: user tag %d out of range", tag))
+		badInput("send", "user tag %d out of range [0, %d]", tag, MaxUserTag)
 	}
 	c.r.send(c.members[dst], tag, data)
 }
@@ -148,7 +148,7 @@ func (c *Comm) Scatter(alg Alg, root int, blocks [][]byte) []byte {
 	}
 	if c.myRank == root {
 		if len(blocks) != n {
-			panic(fmt.Sprintf("mpi: comm scatter root has %d blocks, want %d", len(blocks), n))
+			badInput("comm scatter", "root has %d blocks, want %d", len(blocks), n)
 		}
 		for _, cc := range tree.Children[root] {
 			c.r.send(c.members[cc], tag, concatRel(blocks, tree, cc))

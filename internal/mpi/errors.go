@@ -1,0 +1,36 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// CrashError is the typed error for operations that tripped over a
+// crashed node (re-exported from simnet so mpi callers need not import
+// the network layer).
+type CrashError = simnet.CrashError
+
+// TimeoutError is the typed error for deadline-aware operations that
+// missed their deadline (re-exported from simnet).
+type TimeoutError = simnet.TimeoutError
+
+// InputError reports invalid user input to an MPI call: a bad block
+// count, mismatched sizes, a tag out of range. Collective APIs cannot
+// return errors without breaking their SPMD shape, so the offending
+// rank panics with an *InputError; the simulation engine converts the
+// panic into a job failure and Run returns the error (match with
+// errors.As). Plain panics remain reserved for internal invariant
+// violations — bugs in this package, not in user input.
+type InputError struct {
+	Op     string // the API call, e.g. "scatter"
+	Reason string
+}
+
+// Error describes the rejected input.
+func (e *InputError) Error() string { return fmt.Sprintf("mpi: %s: %s", e.Op, e.Reason) }
+
+// badInput aborts the calling rank with an *InputError.
+func badInput(op, format string, args ...any) {
+	panic(&InputError{Op: op, Reason: fmt.Sprintf(format, args...)})
+}

@@ -9,10 +9,12 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/simnet"
 	"repro/internal/vtime"
 )
@@ -34,12 +36,14 @@ type Config struct {
 	Cluster *cluster.Cluster    // the machine to run on
 	Profile *cluster.TCPProfile // TCP irregularity profile (nil = ideal)
 	Seed    int64               // randomness for the TCP layer
+	Faults  *faults.Plan        // fault injection plan (nil = fault-free)
 }
 
 // Result reports what a completed job did.
 type Result struct {
 	Duration time.Duration   // virtual time from start to last event
 	Net      simnet.Counters // traffic statistics
+	Faults   faults.Stats    // what the fault injector did (zero when fault-free)
 }
 
 // World is the shared state of one SPMD job.
@@ -65,6 +69,13 @@ type Rank struct {
 
 // Run executes body on every rank of the cluster and returns traffic
 // statistics. body runs once per rank, concurrently in virtual time.
+//
+// Failures surface as typed errors rather than hangs or raw panics:
+// invalid collective input as *InputError, operations on crashed nodes
+// as *CrashError (match with errors.As). When a fault plan crashed
+// nodes and the job then stalled — ranks blocked on a peer they cannot
+// identify, such as a wildcard receive — the engine's deadlock report
+// is wrapped into a *CrashError naming the crashed nodes.
 func Run(cfg Config, body func(r *Rank)) (Result, error) {
 	if cfg.Cluster == nil {
 		return Result{}, fmt.Errorf("mpi: nil cluster")
@@ -72,6 +83,9 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 	eng := vtime.NewEngine()
 	net, err := simnet.New(eng, cfg.Cluster, cfg.Profile, cfg.Seed)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := net.SetFaults(cfg.Faults); err != nil {
 		return Result{}, err
 	}
 	n := cfg.Cluster.N()
@@ -88,10 +102,18 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 			body(&Rank{w: w, p: p, rank: i})
 		})
 	}
+	res := Result{Net: net.Counters()}
 	if err := eng.Run(); err != nil {
-		return Result{}, err
+		var dl *vtime.DeadlockError
+		if crashed := net.CrashedNodes(); len(crashed) > 0 && errors.As(err, &dl) {
+			err = &CrashError{Nodes: crashed, Waiter: -1, At: eng.Now(), Cause: err}
+		}
+		res.Duration = eng.Now()
+		res.Net = net.Counters()
+		res.Faults = net.FaultStats()
+		return res, err
 	}
-	return Result{Duration: eng.Now(), Net: net.Counters()}, nil
+	return Result{Duration: eng.Now(), Net: net.Counters(), Faults: net.FaultStats()}, nil
 }
 
 // Rank returns this process's rank.
@@ -124,7 +146,7 @@ type Status struct {
 // returns when the local CPU is free again (eager semantics).
 func (r *Rank) Send(dst, tag int, data []byte) {
 	if tag < 0 || tag > MaxUserTag {
-		panic(fmt.Sprintf("mpi: user tag %d out of range", tag))
+		badInput("send", "user tag %d out of range [0, %d]", tag, MaxUserTag)
 	}
 	r.send(dst, tag, data)
 }
@@ -134,6 +156,40 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 func (r *Rank) Recv(src, tag int) ([]byte, Status) {
 	msg := r.w.net.Recv(r.p, r.rank, src, tag)
 	return msg.Payload, Status{Source: msg.Src, Tag: msg.Tag, Bytes: len(msg.Payload)}
+}
+
+// SendTimeout is the deadline-aware, error-returning Send: it reports
+// a *CrashError when dst is known to have crashed and — for
+// rendezvous-protocol sends — a *TimeoutError when delivery has not
+// completed within timeout of virtual time (non-positive timeout
+// means no deadline). Invalid input is reported as an *InputError
+// instead of aborting the rank.
+func (r *Rank) SendTimeout(dst, tag int, data []byte, timeout time.Duration) error {
+	if tag < 0 || tag > MaxUserTag {
+		return &InputError{Op: "send", Reason: fmt.Sprintf("user tag %d out of range [0, %d]", tag, MaxUserTag)}
+	}
+	var deadline time.Duration
+	if timeout > 0 {
+		deadline = r.p.Now() + timeout
+	}
+	return r.w.net.SendDeadline(r.p, r.rank, dst, tag, data, deadline)
+}
+
+// RecvTimeout is the deadline-aware, error-returning Recv: it reports
+// a *CrashError when the awaited specific source has crashed with
+// nothing left in flight, and a *TimeoutError when no match arrives
+// within timeout of virtual time (non-positive timeout means no
+// deadline).
+func (r *Rank) RecvTimeout(src, tag int, timeout time.Duration) ([]byte, Status, error) {
+	var deadline time.Duration
+	if timeout > 0 {
+		deadline = r.p.Now() + timeout
+	}
+	msg, err := r.w.net.RecvDeadline(r.p, r.rank, src, tag, deadline)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	return msg.Payload, Status{Source: msg.Src, Tag: msg.Tag, Bytes: len(msg.Payload)}, nil
 }
 
 // send is the internal untagged-range-checked variant used by

@@ -19,7 +19,7 @@ func (r *Rank) Scatterv(alg Alg, root int, blocks [][]byte, counts []int) []byte
 	tree := r.tree(alg, root)
 	n := r.w.n
 	if len(counts) != n {
-		panic(fmt.Sprintf("mpi: scatterv needs %d counts, got %d", n, len(counts)))
+		badInput("scatterv", "needs %d counts, got %d", n, len(counts))
 	}
 	if n == 1 {
 		return blocks[root]
@@ -27,11 +27,11 @@ func (r *Rank) Scatterv(alg Alg, root int, blocks [][]byte, counts []int) []byte
 
 	if r.rank == root {
 		if len(blocks) != n {
-			panic(fmt.Sprintf("mpi: scatterv root has %d blocks, want %d", len(blocks), n))
+			badInput("scatterv", "root has %d blocks, want %d", len(blocks), n)
 		}
 		for i, b := range blocks {
 			if len(b) != counts[i] {
-				panic(fmt.Sprintf("mpi: scatterv block %d has %d bytes, counts say %d", i, len(b), counts[i]))
+				badInput("scatterv", "block %d has %d bytes, counts say %d", i, len(b), counts[i])
 			}
 		}
 		for _, c := range tree.Children[root] {
@@ -66,10 +66,10 @@ func (r *Rank) Gatherv(alg Alg, root int, block []byte, counts []int) [][]byte {
 	tree := r.tree(alg, root)
 	n := r.w.n
 	if len(counts) != n {
-		panic(fmt.Sprintf("mpi: gatherv needs %d counts, got %d", n, len(counts)))
+		badInput("gatherv", "needs %d counts, got %d", n, len(counts))
 	}
 	if len(block) != counts[r.rank] {
-		panic(fmt.Sprintf("mpi: gatherv rank %d block has %d bytes, counts say %d", r.rank, len(block), counts[r.rank]))
+		badInput("gatherv", "rank %d block has %d bytes, counts say %d", r.rank, len(block), counts[r.rank])
 	}
 	if n == 1 {
 		return [][]byte{append([]byte(nil), block...)}

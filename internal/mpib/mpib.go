@@ -37,12 +37,31 @@ func (t Timing) String() string {
 }
 
 // Options control the adaptive repetition loop. The zero value is
-// replaced by the paper's defaults.
+// replaced by the paper's defaults; the robustness knobs (OutlierMAD,
+// Retries) default to off, leaving the measurement trajectory
+// identical to the plain adaptive loop.
 type Options struct {
 	Confidence float64 // confidence level; default 0.95
 	RelErr     float64 // target relative error of the CI; default 0.025
 	MinReps    int     // repetitions before the stopping rule applies; default 5
-	MaxReps    int     // hard cap; default 100
+	MaxReps    int     // hard cap per attempt; default 100
+
+	// OutlierMAD, when positive, drops samples farther than this many
+	// scaled MADs from the median before the stopping rule and the
+	// final summary — so a single RTO-length spike from a lossy link
+	// cannot drag the mean or keep the CI from closing. 0 disables
+	// rejection.
+	OutlierMAD float64
+
+	// Retries bounds re-measurement attempts after a non-converged
+	// attempt (CI still too wide after MaxReps): the ranks back off in
+	// virtual time and run up to MaxReps further repetitions, keeping
+	// all samples. 0 disables retries.
+	Retries int
+
+	// Backoff is the virtual-time pause before the first retry,
+	// doubling per attempt; default 1ms when Retries > 0.
+	Backoff time.Duration
 }
 
 // withDefaults fills unset fields with the paper's values.
@@ -62,15 +81,22 @@ func (o Options) withDefaults() Options {
 	if o.MaxReps < o.MinReps {
 		o.MaxReps = o.MinReps
 	}
+	if o.Retries > 0 && o.Backoff <= 0 {
+		o.Backoff = time.Millisecond
+	}
 	return o
 }
 
 // Measurement is the result of an adaptive measurement; all ranks
 // receive identical values.
 type Measurement struct {
-	stats.Summary
-	Samples []float64     // per-repetition durations in seconds
-	Elapsed time.Duration // virtual time the whole measurement consumed
+	stats.Summary               // over the samples that survived rejection
+	Samples       []float64     // all per-repetition durations in seconds (pre-rejection)
+	Elapsed       time.Duration // virtual time the whole measurement consumed
+	Converged     bool          // the CI met the RelErr target
+	Reps          int           // repetitions actually run
+	Retries       int           // re-measurement attempts used
+	Rejected      int           // samples dropped by outlier rejection
 }
 
 // Seconds returns the mean duration in seconds (convenience alias).
@@ -102,35 +128,57 @@ func Measure(r *mpi.Rank, designated int, timing Timing, opts Options, op func()
 	var samples []float64
 	r.HardSync()
 	start := r.Now()
-	for {
-		r.HardSync()
-		t0 := r.Now()
-		op()
-		locals[r.Rank()] = (r.Now() - t0).Seconds()
-		r.HardSync() // every rank has written its local duration
+	summarize := func() (stats.Summary, int) {
+		return stats.RobustSummarize(samples, opts.Confidence, opts.OutlierMAD)
+	}
+	converged := false
+	retries := 0
+	backoff := opts.Backoff
+	for attempt := 0; ; attempt++ {
+		budget := len(samples) + opts.MaxReps
+		for len(samples) < budget {
+			r.HardSync()
+			t0 := r.Now()
+			op()
+			locals[r.Rank()] = (r.Now() - t0).Seconds()
+			r.HardSync() // every rank has written its local duration
 
-		var sample float64
-		switch timing {
-		case RootTiming:
-			sample = locals[designated]
-		default:
-			sample = stats.Max(locals)
-		}
-		samples = append(samples, sample)
-		if len(samples) >= opts.MaxReps {
-			break
-		}
-		if len(samples) >= opts.MinReps {
-			if s := stats.Summarize(samples, opts.Confidence); s.RelErr() <= opts.RelErr {
-				break
+			var sample float64
+			switch timing {
+			case RootTiming:
+				sample = locals[designated]
+			default:
+				sample = stats.Max(locals)
+			}
+			samples = append(samples, sample)
+			if len(samples) >= opts.MinReps {
+				if s, _ := summarize(); s.N >= opts.MinReps && s.RelErr() <= opts.RelErr {
+					converged = true
+					break
+				}
 			}
 		}
+		if converged || attempt >= opts.Retries {
+			break
+		}
+		// Non-converged attempt: back off (transient contention or a
+		// degradation window may pass in virtual time) and re-measure.
+		// Every rank derives the same decision from the same samples,
+		// so the ranks stay in lockstep.
+		retries++
+		r.Sleep(backoff)
+		backoff *= 2
 	}
 
+	summary, rejected := summarize()
 	return Measurement{
-		Summary: stats.Summarize(samples, opts.Confidence),
-		Samples: samples,
-		Elapsed: r.Now() - start,
+		Summary:   summary,
+		Samples:   samples,
+		Elapsed:   r.Now() - start,
+		Converged: converged,
+		Reps:      len(samples),
+		Retries:   retries,
+		Rejected:  rejected,
 	}
 }
 

@@ -1,0 +1,45 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// CrashError reports that a communication operation involved a node
+// that crashed (fault injection). It is surfaced either immediately —
+// when a rank sends to or receives from a peer already known dead —
+// or at engine drain, when ranks were left blocked on a crashed node
+// they could not identify (e.g. an AnySource receive).
+type CrashError struct {
+	Nodes  []int         // crashed nodes involved
+	Waiter int           // rank that detected the crash; -1 at engine drain
+	At     time.Duration // virtual time of detection
+	Cause  error         // underlying engine error, when detected at drain
+}
+
+// Error describes the crash and who tripped over it.
+func (e *CrashError) Error() string {
+	if e.Waiter >= 0 {
+		return fmt.Sprintf("simnet: node %v crashed; rank %d blocked on it at %v", e.Nodes, e.Waiter, e.At)
+	}
+	return fmt.Sprintf("simnet: node(s) %v crashed; job stalled at %v", e.Nodes, e.At)
+}
+
+// Unwrap exposes the underlying engine error, if any.
+func (e *CrashError) Unwrap() error { return e.Cause }
+
+// TimeoutError reports that a deadline-aware operation missed its
+// virtual-time deadline.
+type TimeoutError struct {
+	Op       string // "send" or "recv"
+	Rank     int    // rank that timed out
+	Peer     int    // the peer involved (AnySource for wildcard receives)
+	Tag      int
+	Deadline time.Duration
+}
+
+// Error describes the missed deadline.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("simnet: %s on rank %d (peer %d, tag %d) missed deadline %v",
+		e.Op, e.Rank, e.Peer, e.Tag, e.Deadline)
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/vtime"
 )
 
@@ -56,6 +57,12 @@ type Counters struct {
 	Bytes       int64
 	Escalations int
 	Serialized  int // transfers that went through a serialized ingress port
+
+	// Fault injection (all zero without a fault plan).
+	Lost      int           // packets lost to injected link loss (each retransmitted)
+	Stalled   time.Duration // total retransmission stall time added by loss
+	BlackHole int           // messages dropped because the destination had crashed
+	Crashed   int           // crash events fired
 }
 
 // Network is the simulated switched cluster.
@@ -64,6 +71,7 @@ type Network struct {
 	cl   *cluster.Cluster
 	prof *cluster.TCPProfile
 	rng  *rand.Rand
+	seed int64
 
 	cpus        []*vtime.Resource // one per node, capacity 1
 	conds       []*vtime.Cond     // mailbox wakeups, one per node
@@ -71,6 +79,9 @@ type Network struct {
 	linkFree    [][]time.Duration // per directed link: when its transmission slot frees
 	ingressFree []time.Duration   // per node: when its serialized ingress port frees
 	inflight    [][]int           // inflight[dst][src]: concurrent wire transfers per flow
+
+	inj  *faults.Injector // nil-safe fault injection (nil = no faults)
+	dead []bool           // per node: crash event has fired
 
 	counters Counters
 	tracer   func(ev TraceEvent)
@@ -92,12 +103,14 @@ func New(eng *vtime.Engine, cl *cluster.Cluster, prof *cluster.TCPProfile, seed 
 		cl:          cl,
 		prof:        prof,
 		rng:         rand.New(rand.NewSource(seed)),
+		seed:        seed,
 		cpus:        make([]*vtime.Resource, n),
 		conds:       make([]*vtime.Cond, n),
 		boxes:       make([][]*Message, n),
 		linkFree:    make([][]time.Duration, n),
 		ingressFree: make([]time.Duration, n),
 		inflight:    make([][]int, n),
+		dead:        make([]bool, n),
 	}
 	for i := 0; i < n; i++ {
 		net.cpus[i] = vtime.NewResource(eng, fmt.Sprintf("cpu%d", i), 1)
@@ -119,6 +132,74 @@ func (n *Network) Profile() *cluster.TCPProfile { return n.prof }
 
 // Counters returns a snapshot of the traffic counters.
 func (n *Network) Counters() Counters { return n.counters }
+
+// SetFaults installs a fault plan. It must be called before any
+// process starts communicating; crash events are scheduled on the
+// engine immediately. The injector draws from its own RNG stream
+// derived from the network seed, so installing a plan does not
+// reshuffle the TCP escalation randomness of the underlying run. A
+// nil or empty plan leaves the network fault-free.
+func (n *Network) SetFaults(plan *faults.Plan) error {
+	if plan.Empty() {
+		n.inj = nil
+		return nil
+	}
+	if err := plan.Validate(n.cl.N()); err != nil {
+		return err
+	}
+	n.inj = faults.NewInjector(plan, n.seed, n.prof.BaseRTO())
+	for _, node := range n.inj.Crashing() {
+		node := node
+		t, _ := n.inj.CrashTime(node)
+		n.eng.At(t, func() {
+			if n.dead[node] {
+				return
+			}
+			n.dead[node] = true
+			n.counters.Crashed++
+			n.inj.NoteCrash()
+			// Black-hole anything already queued for the dead node and
+			// wake every waiter so blocked peers can re-examine their
+			// state (and detect the crash).
+			n.counters.BlackHole += len(n.boxes[node])
+			n.boxes[node] = nil
+			for _, c := range n.conds {
+				c.Broadcast()
+			}
+		})
+	}
+	return nil
+}
+
+// FaultStats returns a snapshot of what the fault injector did.
+// All-zero when no plan is installed.
+func (n *Network) FaultStats() faults.Stats {
+	return n.inj.Stats()
+}
+
+// Dead reports whether the node's crash event has fired.
+func (n *Network) Dead(node int) bool { return n.dead[node] }
+
+// CrashedNodes lists the nodes whose crash events have fired, in
+// index order.
+func (n *Network) CrashedNodes() []int {
+	var out []int
+	for i, d := range n.dead {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// checkSelf terminates the calling process if its own node has
+// crashed: a dead node stops mid-operation the next time it touches
+// the network.
+func (n *Network) checkSelf(p *vtime.Proc, node int) {
+	if n.dead[node] {
+		p.Exit()
+	}
+}
 
 // SenderCost returns the CPU time node src spends to send m bytes
 // (C_src + m·t_src). Exposed for white-box tests and documentation.
@@ -143,28 +224,50 @@ func (n *Network) WireTime(src, dst, m int) time.Duration {
 // Send transmits payload from src to dst with the given tag. It must be
 // called by the process running on node src. It returns when the
 // sender's CPU is free again (eager semantics); the wire transfer and
-// delivery proceed asynchronously.
+// delivery proceed asynchronously. Sending to a node known to have
+// crashed panics with a *CrashError (use SendDeadline for the
+// error-returning form).
 func (n *Network) Send(p *vtime.Proc, src, dst, tag int, payload []byte) {
+	if err := n.SendDeadline(p, src, dst, tag, payload, 0); err != nil {
+		panic(err)
+	}
+}
+
+// SendDeadline is Send with fault awareness surfaced as errors rather
+// than panics: it returns a *CrashError when dst is known dead, and —
+// for rendezvous-protocol sends — a *TimeoutError when delivery has
+// not completed by the virtual-time deadline (zero disables the
+// deadline). Eager sends commit once the sender's CPU frees, so the
+// deadline only bounds the rendezvous wait.
+func (n *Network) SendDeadline(p *vtime.Proc, src, dst, tag int, payload []byte, deadline time.Duration) error {
 	if src == dst {
 		panic("simnet: self-send not supported; local copies are modelled as free")
 	}
 	if dst < 0 || dst >= n.cl.N() {
 		panic(fmt.Sprintf("simnet: bad destination %d", dst))
 	}
+	n.checkSelf(p, src)
+	if n.dead[dst] {
+		return &CrashError{Nodes: []int{dst}, Waiter: src, At: p.Now()}
+	}
 	m := len(payload)
 	msg := &Message{Src: src, Dst: dst, Tag: tag, Payload: payload, SentAt: p.Now()}
 	n.trace(TraceSendStart, p.Now(), msg, false)
 
 	// 1. Sender CPU processing: serializes consecutive sends and
-	// contends with receive processing on the same node.
-	n.cpus[src].Use(p, 1, n.SenderCost(src, m))
+	// contends with receive processing on the same node. Straggler
+	// nodes pay their CPU inflation here.
+	n.cpus[src].Use(p, 1, n.scaleCPU(src, n.SenderCost(src, m)))
+	n.checkSelf(p, src) // the crash may have fired while the CPU was busy
 
 	// 2. Wire phase: parallel through the switch, with TCP effects.
 	now := p.Now()
 	msg.InjectedAt = now
 	link := n.cl.Links[src][dst]
-	transfer := time.Duration(float64(m) / link.Beta * float64(time.Second))
+	latX, rateX := n.inj.LinkFactors(src, dst, now)
+	transfer := time.Duration(float64(m) / (link.Beta * rateX) * float64(time.Second))
 	leap := n.prof.LeapExtra(m)
+	lat := time.Duration(float64(link.L) * latX)
 
 	// The transmission segment occupies the directed link i→j: messages
 	// between the same pair serialize (and therefore never overtake),
@@ -183,6 +286,13 @@ func (n *Network) Send(p *vtime.Proc, src, dst, tag int, payload []byte) {
 			escalated = true
 		}
 	}
+	// Injected packet loss: each lost packet stalls the flow for an
+	// RTO before retransmission, like the escalations but on any link.
+	if stall, lost := n.inj.TransferStall(src, dst); lost > 0 {
+		seg += stall
+		n.counters.Lost += lost
+		n.counters.Stalled += stall
+	}
 	start := now
 	if n.linkFree[src][dst] > start {
 		start = n.linkFree[src][dst]
@@ -200,7 +310,7 @@ func (n *Network) Send(p *vtime.Proc, src, dst, tag int, payload []byte) {
 	if n.prof.SerializesIngress(m) {
 		n.ingressFree[dst] = done
 	}
-	arrival := done + link.L
+	arrival := done + lat
 
 	n.inflight[dst][src]++
 	n.counters.Messages++
@@ -214,6 +324,16 @@ func (n *Network) Send(p *vtime.Proc, src, dst, tag int, payload []byte) {
 	}
 	n.eng.At(arrival, func() {
 		n.inflight[dst][src]--
+		if n.dead[dst] {
+			// The destination crashed while the message was on the
+			// wire: black-hole it.
+			n.counters.BlackHole++
+			if rendezvous {
+				arrived = true
+				delivered.Broadcast()
+			}
+			return
+		}
 		msg.ArrivedAt = n.eng.Now()
 		n.boxes[dst] = append(n.boxes[dst], msg)
 		n.conds[dst].Broadcast()
@@ -226,10 +346,29 @@ func (n *Network) Send(p *vtime.Proc, src, dst, tag int, payload []byte) {
 	if rendezvous {
 		// Rendezvous protocol: the send call completes only once the
 		// message has been delivered.
+		if deadline > 0 {
+			n.eng.At(deadline, delivered.Broadcast)
+		}
 		for !arrived {
+			if deadline > 0 && p.Now() >= deadline {
+				return &TimeoutError{Op: "send", Rank: src, Peer: dst, Tag: tag, Deadline: deadline}
+			}
 			delivered.Wait(p)
 		}
+		n.checkSelf(p, src)
+		if n.dead[dst] {
+			return &CrashError{Nodes: []int{dst}, Waiter: src, At: p.Now()}
+		}
 	}
+	return nil
+}
+
+// scaleCPU applies the node's straggler CPU factor to a base cost.
+func (n *Network) scaleCPU(node int, d time.Duration) time.Duration {
+	if x := n.inj.CPUFactor(node); x != 1 {
+		return time.Duration(float64(d) * x)
+	}
+	return d
 }
 
 // othersInflight counts wire transfers heading to dst from senders
@@ -252,15 +391,49 @@ func match(msg *Message, src, tag int) bool {
 // Recv blocks the process running on node dst until a message matching
 // (src, tag) is available, charges the receiver's CPU processing time,
 // and returns the message. src may be AnySource and tag may be AnyTag.
+// Receiving from a crashed peer with nothing left in flight panics
+// with a *CrashError (use RecvDeadline for the error-returning form).
 func (n *Network) Recv(p *vtime.Proc, dst, src, tag int) *Message {
+	msg, err := n.RecvDeadline(p, dst, src, tag, 0)
+	if err != nil {
+		panic(err)
+	}
+	return msg
+}
+
+// RecvDeadline is Recv with fault awareness surfaced as errors rather
+// than panics. It returns a *CrashError when the awaited specific
+// source has crashed and no matching message is pending or in flight,
+// and a *TimeoutError when no match arrives by the virtual-time
+// deadline (zero disables the deadline). Wildcard receives cannot
+// attribute silence to a particular peer, so a crash blocking them is
+// only detected at engine drain.
+func (n *Network) RecvDeadline(p *vtime.Proc, dst, src, tag int, deadline time.Duration) (*Message, error) {
+	timerArmed := false
 	for {
+		n.checkSelf(p, dst)
 		box := n.boxes[dst]
 		for i, msg := range box {
 			if match(msg, src, tag) {
 				n.boxes[dst] = append(box[:i:i], box[i+1:]...)
-				n.cpus[dst].Use(p, 1, n.ReceiverCost(dst, len(msg.Payload)))
+				n.cpus[dst].Use(p, 1, n.scaleCPU(dst, n.ReceiverCost(dst, len(msg.Payload))))
+				n.checkSelf(p, dst)
 				n.trace(TraceRecvDone, p.Now(), msg, false)
-				return msg
+				return msg, nil
+			}
+		}
+		if src != AnySource && n.dead[src] && n.inflight[dst][src] == 0 {
+			// The peer is dead and nothing from it is on the wire: the
+			// awaited message can never arrive.
+			return nil, &CrashError{Nodes: []int{src}, Waiter: dst, At: p.Now()}
+		}
+		if deadline > 0 {
+			if p.Now() >= deadline {
+				return nil, &TimeoutError{Op: "recv", Rank: dst, Peer: src, Tag: tag, Deadline: deadline}
+			}
+			if !timerArmed {
+				timerArmed = true
+				n.eng.At(deadline, n.conds[dst].Broadcast)
 			}
 		}
 		n.conds[dst].Wait(p)

@@ -83,6 +83,81 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// TrimmedMean returns the mean of xs after dropping a fraction frac of
+// each tail (so frac = 0.1 drops the lowest and highest 10%). At least
+// one sample is always kept; frac outside [0, 0.5) falls back to the
+// plain mean.
+func TrimmedMean(xs []float64, frac float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if frac <= 0 || frac >= 0.5 {
+		return Mean(xs)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	k := int(float64(n) * frac)
+	if 2*k >= n {
+		k = (n - 1) / 2
+	}
+	return Mean(s[k : n-k])
+}
+
+// MAD returns the median absolute deviation from the median, the
+// robust scale estimate behind outlier rejection (0 for empty input).
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return Median(dev)
+}
+
+// madScale converts a MAD into a standard-deviation-comparable scale
+// for normally distributed data.
+const madScale = 1.4826
+
+// RejectOutliers drops the samples farther than k scaled MADs from the
+// median and returns the survivors (in original order) plus the number
+// rejected. When the MAD is zero — at least half the samples identical,
+// e.g. a zero-variance series — a tiny relative tolerance substitutes,
+// so an injected spike is still rejected while the identical samples
+// survive. k <= 0 disables rejection.
+func RejectOutliers(xs []float64, k float64) ([]float64, int) {
+	if k <= 0 || len(xs) < 3 {
+		return xs, 0
+	}
+	m := Median(xs)
+	tol := k * madScale * MAD(xs)
+	if tol == 0 {
+		tol = 1e-9 * math.Max(math.Abs(m), 1)
+	}
+	kept := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.Abs(x-m) <= tol {
+			kept = append(kept, x)
+		}
+	}
+	if len(kept) == 0 { // pathological: keep the median itself
+		return []float64{m}, len(xs) - 1
+	}
+	return kept, len(xs) - len(kept)
+}
+
+// RobustSummarize summarizes xs at the given confidence level after
+// MAD-based outlier rejection with threshold k, returning the summary
+// of the surviving samples and the number rejected. k <= 0 makes it
+// identical to Summarize.
+func RobustSummarize(xs []float64, confidence, k float64) (Summary, int) {
+	kept, rejected := RejectOutliers(xs, k)
+	return Summarize(kept, confidence), rejected
+}
+
 // tTable95 and tTable99 hold two-sided Student-t critical values for
 // the listed degrees of freedom. Values beyond the table are
 // interpolated; beyond the last entry the normal limit applies.

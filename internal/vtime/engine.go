@@ -106,6 +106,19 @@ func (p *Proc) Engine() *Engine { return p.e }
 // Now returns the current virtual time.
 func (p *Proc) Now() time.Duration { return p.e.now }
 
+// procExit is the sentinel Proc.Exit panics with: it unwinds the
+// process body (running its deferred functions) and terminates the
+// process as if the body had returned, without failing the engine.
+type procExit struct{}
+
+// Exit terminates the calling process immediately, as if its body had
+// returned. It is the mechanism behind simulated node crashes: the
+// dead node's process unwinds cleanly while the rest of the simulation
+// keeps running.
+func (p *Proc) Exit() {
+	panic(procExit{})
+}
+
 // Go starts a new process executing body. It may be called before Run
 // or from a running process or event callback. The process begins at
 // the current virtual time.
@@ -116,8 +129,17 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 	go func() {
 		<-p.resume // wait for the engine to hand us control
 		defer func() {
-			if r := recover(); r != nil && e.panicErr == nil {
-				e.panicErr = fmt.Errorf("vtime: process %q panicked: %v", p.name, r)
+			if r := recover(); r != nil {
+				if _, exited := r.(procExit); !exited && e.panicErr == nil {
+					// A panic value that is itself an error stays unwrappable
+					// (errors.As), so typed failures — bad collective input, a
+					// crashed peer — survive the trip through the engine.
+					if err, ok := r.(error); ok {
+						e.panicErr = fmt.Errorf("vtime: process %q failed: %w", p.name, err)
+					} else {
+						e.panicErr = fmt.Errorf("vtime: process %q panicked: %v", p.name, r)
+					}
+				}
 			}
 			p.done = true
 			e.liveProcs--
