@@ -107,7 +107,13 @@ func main() {
 
 	if *jsonOut != "" {
 		lmo.Gather = irr
-		data, err := models.NewModelFile(hom, het, logp, loggp, plogp, lmo).Marshal()
+		mf := models.NewModelFile(hom, het, logp, loggp, plogp, lmo)
+		mf.Meta = &models.Meta{
+			Cluster: "table1", Nodes: *nodes, Profile: prof.Name, Seed: *seed,
+			Est:  schedName(opt.Parallel),
+			Tool: "cmd/estimate",
+		}
+		data, err := mf.Marshal()
 		check(err)
 		check(os.WriteFile(*jsonOut, data, 0o644))
 		fmt.Printf("models written to %s\n", *jsonOut)

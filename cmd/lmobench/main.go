@@ -3,37 +3,49 @@
 // observation and model-prediction series as text charts and tables,
 // optionally exporting CSV.
 //
+// With -seeds N the experiments run as a simulation campaign: every
+// experiment is repeated under N consecutive seeds across a bounded
+// worker pool (-parallel K), and the report shows the seed-averaged
+// series with mean ± 95% CI of every metric instead of a single run.
+//
 // Usage:
 //
 //	lmobench -exp fig4                 # one experiment
 //	lmobench -exp all                  # the whole evaluation
 //	lmobench -exp fig5 -mpi mpich      # under the MPICH profile
 //	lmobench -exp fig4 -csv fig4.csv   # export the series
+//	lmobench -exp fig4 -seeds 10       # seed sweep with mean ± CI
 //	lmobench -list                     # list experiments
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/experiment"
+	"repro/internal/textplot"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig1..fig7, table1, table2, estcost, irreg, faults, ...; see -list) or 'all'")
-		mpiName = flag.String("mpi", "lam", "MPI implementation profile: lam, mpich or ideal")
-		seed    = flag.Int64("seed", 1, "TCP randomness seed")
-		root    = flag.Int("root", 0, "collective root rank")
-		reps    = flag.Int("reps", 10, "repetitions per observation point")
-		csvPath = flag.String("csv", "", "write the experiment's series to this CSV file")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		hetLink = flag.Bool("hetlinks", false, "use per-pair link variation (Table1Hetero)")
-		clPath  = flag.String("cluster", "", "JSON cluster description to use instead of Table I")
+		exp      = flag.String("exp", "all", "experiment id (fig1..fig7, table1, table2, estcost, irreg, faults, ...; see -list) or 'all'")
+		mpiName  = flag.String("mpi", "lam", "MPI implementation profile: lam, mpich or ideal")
+		seed     = flag.Int64("seed", 1, "TCP randomness seed")
+		root     = flag.Int("root", 0, "collective root rank")
+		reps     = flag.Int("reps", 10, "repetitions per observation point")
+		csvPath  = flag.String("csv", "", "write the experiment's series to this CSV file")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		hetLink  = flag.Bool("hetlinks", false, "use per-pair link variation (Table1Hetero)")
+		clPath   = flag.String("cluster", "", "JSON cluster description to use instead of Table I")
+		seeds    = flag.Int("seeds", 1, "sweep this many consecutive seeds (starting at -seed) as a campaign and report mean ± CI")
+		parallel = flag.Int("parallel", 0, "campaign worker count for -seeds sweeps (0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -86,6 +98,18 @@ func main() {
 		runners = []experiment.Runner{*r}
 	}
 
+	if *seeds > 1 {
+		clusterName := "table1"
+		if *hetLink {
+			clusterName = "table1hetero"
+		}
+		if *clPath != "" {
+			clusterName = *clPath
+		}
+		runCampaign(cfg, runners, clusterName, *seed, *seeds, *parallel)
+		return
+	}
+
 	// Experiments are independent simulations; run them concurrently
 	// and print the reports in catalogue order.
 	type outcome struct {
@@ -135,4 +159,72 @@ func main() {
 			fmt.Printf("(series written to %s)\n\n", path)
 		}
 	}
+}
+
+// runCampaign sweeps the experiments over nSeeds consecutive seeds
+// through the campaign engine and renders the seed-aggregated view:
+// mean series and mean ± 95% CI of every metric.
+func runCampaign(cfg experiment.Config, runners []experiment.Runner, clusterName string, seed int64, nSeeds, parallel int) {
+	g := campaign.Grid{
+		Profiles: []*cluster.TCPProfile{cfg.Profile},
+		Clusters: []campaign.ClusterSpec{{Name: clusterName, Cluster: cfg.Cluster}},
+		ObsReps:  cfg.ObsReps,
+		Root:     cfg.Root,
+	}
+	for s := int64(0); s < int64(nSeeds); s++ {
+		g.Seeds = append(g.Seeds, seed+s)
+	}
+	for _, r := range runners {
+		g.Targets = append(g.Targets, campaign.Target{Kind: campaign.Experiment, ID: r.ID})
+	}
+
+	start := time.Now()
+	out, err := campaign.Run(context.Background(), g, campaign.Options{Parallel: parallel})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+		os.Exit(2)
+	}
+	for _, res := range out.Results {
+		if res.Err != "" {
+			fmt.Fprintf(os.Stderr, "lmobench: %s seed %d: %s\n", res.Target, res.Seed, res.Err)
+		}
+	}
+
+	for _, a := range out.Aggregates {
+		fmt.Printf("== %s on %s under %s — %d/%d seeds ==\n\n",
+			a.Target, a.Cluster, a.Profile, a.OK, a.Seeds)
+		if a.OK == 0 {
+			continue
+		}
+		if len(a.Series) > 0 {
+			series := make([]textplot.Series, len(a.Series))
+			for i, as := range a.Series {
+				pts := make([]textplot.Point, len(as.X))
+				for j := range as.X {
+					pts[j] = textplot.Point{X: as.X[j], Y: as.Mean[j]}
+				}
+				series[i] = textplot.Series{Name: as.Name + " (mean)", Points: pts}
+			}
+			fmt.Println(textplot.Chart("", "message size", "seconds", series, 72, 20))
+		}
+		if len(a.Metrics) > 0 {
+			names := make([]string, 0, len(a.Metrics))
+			for name := range a.Metrics {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			rows := [][]string{{"metric", "mean", "±95% CI", "stddev", "n"}}
+			for _, name := range names {
+				s := a.Metrics[name]
+				rows = append(rows, []string{name,
+					fmt.Sprintf("%.6g", s.Mean),
+					fmt.Sprintf("%.3g", s.CIHalf),
+					fmt.Sprintf("%.3g", s.StdDev),
+					fmt.Sprint(s.N)})
+			}
+			fmt.Println(textplot.Table(rows))
+		}
+	}
+	fmt.Printf("(%d tasks, %d failed, %v wall-clock)\n",
+		len(out.Results), out.Failed(), time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,87 @@
+// Command lmoserve serves model predictions over HTTP: the
+// estimate-once / predict-many workflow as a long-running service.
+// Estimated model sets live in an LRU-bounded in-memory registry keyed
+// by platform (cluster, node count, TCP profile, seed); a prediction
+// for an unknown platform estimates it on the spot (deduplicated
+// across concurrent requests), and POST /estimate runs asynchronous
+// estimation campaigns — optionally sweeping seeds — through the
+// campaign engine.
+//
+// Endpoints:
+//
+//	POST /predict   {"cluster","nodes","profile","seed","op","alg","m","root"}
+//	POST /estimate  {"cluster","nodes","profile","seeds","estimator","parallel"} -> job
+//	GET  /jobs      list estimation jobs; GET /jobs/{id} polls one
+//	GET  /models    list the cached model sets
+//	GET  /metrics   request counts/latencies, cache hit rate, worker utilization
+//	GET  /healthz
+//
+// Usage:
+//
+//	lmoserve -addr :8123
+//	lmoserve -models table1.json,mpich.json   # preload cmd/estimate -json output
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8123", "listen address")
+		preload  = flag.String("models", "", "comma-separated model JSON files to preload (from cmd/estimate -json; files must carry meta provenance)")
+		parallel = flag.Int("parallel", 0, "default campaign worker count for estimation jobs (0: GOMAXPROCS)")
+		capacity = flag.Int("lru", 64, "model registry capacity (LRU eviction beyond it)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-task estimation timeout")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Capacity:    *capacity,
+		Parallel:    *parallel,
+		TaskTimeout: *timeout,
+	}
+	if *preload != "" {
+		for _, path := range strings.Split(*preload, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fail("%v", err)
+			}
+			mf, err := models.UnmarshalModelFile(data)
+			if err != nil {
+				fail("%s: %v", path, err)
+			}
+			cfg.Preload = append(cfg.Preload, mf)
+		}
+	}
+
+	srv, err := serve.New(context.Background(), cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, k := range srv.Registry().Keys() {
+		fmt.Printf("lmoserve: preloaded %s\n", k)
+	}
+	fmt.Printf("lmoserve: listening on %s (registry capacity %d)\n", *addr, *capacity)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lmoserve: "+format+"\n", args...)
+	os.Exit(2)
+}

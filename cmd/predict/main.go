@@ -77,6 +77,20 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
+		// The file's provenance pins the platform it was estimated on;
+		// shrink the cluster to match and flag profile mismatches.
+		if meta := mf.Meta; meta != nil {
+			if meta.Nodes != n {
+				if meta.Nodes < 3 || meta.Nodes > n {
+					fail("model file %s was estimated on %d nodes; this cluster has %d", *modPath, meta.Nodes, n)
+				}
+				cfg.Cluster = cfg.Cluster.Prefix(meta.Nodes)
+				n = meta.Nodes
+			}
+			if meta.Profile != prof.Name {
+				fmt.Printf("note: models were estimated under %s, observing under %s\n", meta.Profile, prof.Name)
+			}
+		}
 		plogp, err := mf.GetPLogP()
 		if err != nil {
 			fail("%v", err)

@@ -35,6 +35,9 @@
 package commperf
 
 import (
+	"context"
+
+	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/estimate"
 	"repro/internal/experiment"
@@ -255,6 +258,46 @@ var (
 	// inverse proportion to their LMO per-byte costs.
 	ProportionalCounts = tuned.ProportionalCounts
 )
+
+// Simulation campaigns. A campaign fans a parameter grid — seeds ×
+// TCP profiles × cluster specs × experiment/estimator targets — across
+// a bounded worker pool, one isolated simulation universe per task,
+// and merges the results deterministically (keyed by grid coordinates,
+// never by completion order) with seed-aggregated statistics.
+type (
+	// CampaignGrid is the parameter grid to sweep.
+	CampaignGrid = campaign.Grid
+	// CampaignOptions bounds the run (worker count, per-task timeout).
+	CampaignOptions = campaign.Options
+	// CampaignOutcome is the deterministic merged result set.
+	CampaignOutcome = campaign.Outcome
+	// CampaignResult is one grid point's outcome.
+	CampaignResult = campaign.Result
+	// CampaignAggregate summarizes one cluster×profile×target cell
+	// across its seeds (mean/CI of metrics and series).
+	CampaignAggregate = campaign.Aggregate
+	// CampaignTarget names what a task runs: an experiment or an
+	// estimator.
+	CampaignTarget = campaign.Target
+	// CampaignClusterSpec is a named cluster in the grid.
+	CampaignClusterSpec = campaign.ClusterSpec
+	// CampaignStats exposes a running campaign's live progress counters.
+	CampaignStats = campaign.Stats
+)
+
+// Campaign target kinds.
+const (
+	// ExperimentTarget runs a figure/table experiment per grid point.
+	ExperimentTarget = campaign.Experiment
+	// EstimatorTarget runs a model estimation per grid point.
+	EstimatorTarget = campaign.Estimator
+)
+
+// RunCampaign executes the grid under ctx and returns the merged
+// outcome; Outcome.Canonical() is byte-identical for any worker count.
+func RunCampaign(ctx context.Context, g CampaignGrid, o CampaignOptions) (*CampaignOutcome, error) {
+	return campaign.Run(ctx, g, o)
+}
 
 // Model persistence.
 var (

@@ -2,6 +2,7 @@ package commperf
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -278,4 +279,32 @@ func payloadIfRoot(c *Comm, s string) []byte {
 		return []byte(s)
 	}
 	return nil
+}
+
+func TestRunCampaignThroughFacade(t *testing.T) {
+	g := CampaignGrid{
+		Seeds:    []int64{1, 2},
+		Profiles: []*TCPProfile{LAM()},
+		Clusters: []CampaignClusterSpec{{Name: "table1:4", Cluster: Table1().Prefix(4)}},
+		Targets:  []CampaignTarget{{Kind: EstimatorTarget, ID: "hethockney"}},
+	}
+	out, err := RunCampaign(context.Background(), g, CampaignOptions{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 || out.Failed() != 0 {
+		t.Fatalf("results = %d (failed %d), want 2 clean", len(out.Results), out.Failed())
+	}
+	if len(out.Aggregates) != 1 {
+		t.Fatalf("aggregates = %d, want 1", len(out.Aggregates))
+	}
+	agg := out.Aggregates[0]
+	if s, ok := agg.Metrics["hockney.alpha"]; !ok || s.N != 2 || s.Mean <= 0 {
+		t.Fatalf("hockney.alpha summary missing or degenerate: %+v", agg.Metrics)
+	}
+	for _, r := range out.Results {
+		if r.Models == nil || r.Models.Meta == nil || r.Models.Meta.Profile == "" {
+			t.Fatalf("campaign estimator result should carry model provenance: %+v", r.Models)
+		}
+	}
 }

@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"repro/internal/stats"
+)
+
+// aggConfidence is the confidence level of the seed-sweep intervals.
+const aggConfidence = 0.95
+
+// Aggregate summarizes one (cluster, profile, target) configuration
+// across the grid's seeds: point-wise series statistics and mean/CI of
+// every scalar metric. Failed seeds are excluded (OK counts the
+// survivors).
+type Aggregate struct {
+	Cluster string `json:"cluster"`
+	Profile string `json:"profile"`
+	Target  Target `json:"target"`
+	Seeds   int    `json:"seeds"` // seeds in the grid
+	OK      int    `json:"ok"`    // seeds that completed
+
+	// Series holds point-wise mean and CI half-width across seeds for
+	// every series present (with identical shape) in all surviving
+	// seeds.
+	Series []AggSeries `json:"series,omitempty"`
+	// Metrics summarizes every scalar metric present in all surviving
+	// seeds: estimated parameters and prediction errors.
+	Metrics map[string]stats.Summary `json:"metrics,omitempty"`
+}
+
+// AggSeries is a seed-swept series: per-x mean and confidence band.
+type AggSeries struct {
+	Name   string    `json:"name"`
+	X      []float64 `json:"x"`
+	Mean   []float64 `json:"mean"`
+	CIHalf []float64 `json:"ci_half"`
+}
+
+// aggregate groups results by (cluster, profile, target) — seeds are
+// innermost in task order, so each group is a contiguous slice — and
+// summarizes across seeds. Iteration follows grid order, keeping the
+// output deterministic.
+func aggregate(g Grid, results []Result) []Aggregate {
+	nSeeds := len(g.Seeds)
+	var aggs []Aggregate
+	for at := 0; at < len(results); at += nSeeds {
+		group := results[at : at+nSeeds]
+		first := group[0]
+		a := Aggregate{
+			Cluster: first.Cluster,
+			Profile: first.Profile,
+			Target:  first.Target,
+			Seeds:   nSeeds,
+		}
+		var ok []Result
+		for _, r := range group {
+			if r.Err == "" {
+				ok = append(ok, r)
+			}
+		}
+		a.OK = len(ok)
+		if len(ok) > 0 {
+			a.Series = aggregateSeries(ok)
+			a.Metrics = aggregateMetrics(ok)
+		}
+		aggs = append(aggs, a)
+	}
+	return aggs
+}
+
+// aggregateSeries summarizes, point by point, every series that every
+// surviving seed produced with the same name, length and x grid.
+func aggregateSeries(ok []Result) []AggSeries {
+	var out []AggSeries
+	for _, ref := range ok[0].Series {
+		xs := make([]float64, len(ref.Points))
+		for i, p := range ref.Points {
+			xs[i] = p.X
+		}
+		cols := make([][]float64, len(ref.Points)) // per point, one value per seed
+		complete := true
+		for _, r := range ok {
+			match := false
+			for _, s := range r.Series {
+				if s.Name != ref.Name || len(s.Points) != len(ref.Points) {
+					continue
+				}
+				match = true
+				for i, p := range s.Points {
+					if p.X != xs[i] {
+						match = false
+						break
+					}
+				}
+				if match {
+					for i, p := range s.Points {
+						cols[i] = append(cols[i], p.Y)
+					}
+				}
+				break
+			}
+			if !match {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		as := AggSeries{Name: ref.Name, X: xs,
+			Mean:   make([]float64, len(xs)),
+			CIHalf: make([]float64, len(xs))}
+		for i, col := range cols {
+			sum := stats.Summarize(col, aggConfidence)
+			as.Mean[i] = sum.Mean
+			as.CIHalf[i] = sum.CIHalf
+		}
+		out = append(out, as)
+	}
+	return out
+}
+
+// aggregateMetrics summarizes every metric present in all surviving
+// seeds. Key order is irrelevant: the map marshals sorted.
+func aggregateMetrics(ok []Result) map[string]stats.Summary {
+	if ok[0].Metrics == nil {
+		return nil
+	}
+	out := map[string]stats.Summary{}
+	for name := range ok[0].Metrics {
+		vals := make([]float64, 0, len(ok))
+		for _, r := range ok {
+			v, present := r.Metrics[name]
+			if !present {
+				vals = nil
+				break
+			}
+			vals = append(vals, v)
+		}
+		if vals != nil {
+			out[name] = stats.Summarize(vals, aggConfidence)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+// Package campaign fans a grid of simulation parameters — seeds × TCP
+// profiles × cluster specs × experiment/estimator targets — across a
+// bounded pool of workers, one isolated vtime/simnet universe per task.
+// Simulated runs are deterministic and fully independent, so the
+// campaign is embarrassingly parallel: the engine guarantees that the
+// merged output depends only on the grid, never on completion order or
+// worker count. Per-task wall-clock timeouts, context cancellation and
+// panic capture keep one bad run from killing the campaign, and the
+// aggregator turns single-seed figures into seed-swept statistics
+// (mean and Student-t confidence intervals of estimated parameters and
+// prediction errors).
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/estimate"
+	"repro/internal/experiment"
+	"repro/internal/models"
+	"repro/internal/textplot"
+)
+
+// TargetKind selects what a grid target runs.
+type TargetKind string
+
+// The target kinds.
+const (
+	// Experiment runs one of the figure/table reproductions
+	// (experiment.Lookup IDs: "fig1" … "faults").
+	Experiment TargetKind = "experiment"
+	// Estimator runs a model estimation ("all", "lmo", "lmo5",
+	// "hethockney", "hockney", "logp", "plogp") and returns the
+	// estimated models plus parameter metrics.
+	Estimator TargetKind = "estimator"
+)
+
+// Target names one unit of work of the grid.
+type Target struct {
+	Kind TargetKind `json:"kind"`
+	ID   string     `json:"id"`
+}
+
+// String renders the target as kind:id.
+func (t Target) String() string { return string(t.Kind) + ":" + t.ID }
+
+// ClusterSpec is a named cluster description; the name keys results
+// and registry entries.
+type ClusterSpec struct {
+	Name    string
+	Cluster *cluster.Cluster
+}
+
+// Grid is the campaign's parameter space: the cross product of seeds,
+// TCP profiles, clusters and targets, one task per combination.
+type Grid struct {
+	Seeds    []int64               // default: {1}
+	Profiles []*cluster.TCPProfile // default: {LAM}
+	Clusters []ClusterSpec         // default: {table1}
+	Targets  []Target              // required
+
+	Est     estimate.Options // estimation options for every task
+	ObsReps int              // observation repetitions (experiment targets)
+	Root    int              // collective root
+}
+
+func (g Grid) withDefaults() Grid {
+	if len(g.Seeds) == 0 {
+		g.Seeds = []int64{1}
+	}
+	if len(g.Profiles) == 0 {
+		g.Profiles = []*cluster.TCPProfile{cluster.LAM()}
+	}
+	if len(g.Clusters) == 0 {
+		g.Clusters = []ClusterSpec{{Name: "table1", Cluster: cluster.Table1()}}
+	}
+	if reflect.DeepEqual(g.Est, estimate.Options{}) {
+		g.Est = estimate.Options{Parallel: true}
+	}
+	return g
+}
+
+// Size is the number of tasks the grid enumerates.
+func (g Grid) Size() int {
+	g = g.withDefaults()
+	return len(g.Seeds) * len(g.Profiles) * len(g.Clusters) * len(g.Targets)
+}
+
+// validate fails fast on an unusable grid, before any worker starts.
+func (g Grid) validate() error {
+	if len(g.Targets) == 0 {
+		return fmt.Errorf("campaign: grid has no targets")
+	}
+	for _, t := range g.Targets {
+		switch t.Kind {
+		case Experiment:
+			if experiment.Lookup(t.ID) == nil {
+				return fmt.Errorf("campaign: unknown experiment %q", t.ID)
+			}
+		case Estimator:
+			if !knownEstimator(t.ID) {
+				return fmt.Errorf("campaign: unknown estimator %q (all, lmo, lmo5, hethockney, hockney, logp, plogp)", t.ID)
+			}
+		default:
+			return fmt.Errorf("campaign: unknown target kind %q", t.Kind)
+		}
+	}
+	for _, c := range g.Clusters {
+		if c.Cluster == nil {
+			return fmt.Errorf("campaign: cluster spec %q has a nil cluster", c.Name)
+		}
+	}
+	for _, p := range g.Profiles {
+		if p == nil {
+			return fmt.Errorf("campaign: nil TCP profile in grid")
+		}
+	}
+	return nil
+}
+
+// Coord locates a task in the grid (indexes into the grid's slices).
+// Results are keyed and ordered by coordinates, never by completion
+// order.
+type Coord struct {
+	Cluster int `json:"cluster"`
+	Profile int `json:"profile"`
+	Target  int `json:"target"`
+	Seed    int `json:"seed"`
+}
+
+// Task is one resolved grid point.
+type Task struct {
+	Index   int
+	Coord   Coord
+	Seed    int64
+	Profile *cluster.TCPProfile
+	Cluster ClusterSpec
+	Target  Target
+}
+
+// tasks enumerates the grid in canonical order: clusters, then
+// profiles, then targets, with seeds innermost so per-seed results of
+// one configuration are contiguous.
+func (g Grid) tasks() []Task {
+	var ts []Task
+	for ci, cl := range g.Clusters {
+		for pi, prof := range g.Profiles {
+			for ti, tg := range g.Targets {
+				for si, seed := range g.Seeds {
+					ts = append(ts, Task{
+						Index:   len(ts),
+						Coord:   Coord{Cluster: ci, Profile: pi, Target: ti, Seed: si},
+						Seed:    seed,
+						Profile: prof,
+						Cluster: cl,
+						Target:  tg,
+					})
+				}
+			}
+		}
+	}
+	return ts
+}
+
+// Result is one task's outcome. Everything except Elapsed is a pure
+// function of the grid point, so marshalling a Result (and hence an
+// Outcome) is deterministic; Elapsed is wall-clock and excluded from
+// the JSON form.
+type Result struct {
+	Coord   Coord  `json:"coord"`
+	Cluster string `json:"cluster"`
+	Profile string `json:"profile"`
+	Seed    int64  `json:"seed"`
+	Target  Target `json:"target"`
+
+	// Series are the produced observation/prediction sweeps
+	// (experiment targets).
+	Series []textplot.Series `json:"series,omitempty"`
+	// Metrics are named scalars: prediction errors per model for
+	// experiment targets, estimated parameters and costs for
+	// estimator targets.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Models carries the estimated models (estimator targets only).
+	Models *models.ModelFile `json:"models,omitempty"`
+
+	Err      string `json:"error,omitempty"`
+	Panicked bool   `json:"panicked,omitempty"`
+
+	Elapsed time.Duration `json:"-"` // wall clock; nondeterministic
+}
+
+// Options control the engine.
+type Options struct {
+	// Parallel is the worker count; <=0 uses GOMAXPROCS.
+	Parallel int
+	// TaskTimeout bounds each task's wall-clock time (0 = none). A
+	// timed-out task yields an error Result; its abandoned simulation
+	// finishes in the background and is discarded.
+	TaskTimeout time.Duration
+	// Stats, when non-nil, receives live progress counters (worker
+	// utilization for a serving layer's metrics endpoint).
+	Stats *Stats
+}
+
+// Outcome is a completed campaign: per-task results in grid order plus
+// per-configuration aggregates across seeds. Its JSON form contains no
+// wall-clock quantities, so equal grids produce byte-identical
+// marshalled outcomes regardless of worker count.
+type Outcome struct {
+	Results    []Result    `json:"results"`
+	Aggregates []Aggregate `json:"aggregates"`
+
+	Wall time.Duration `json:"-"` // campaign wall-clock time
+}
+
+// Canonical renders the outcome's deterministic JSON form; two
+// campaigns over the same grid produce identical bytes whatever the
+// parallelism.
+func (o *Outcome) Canonical() ([]byte, error) {
+	return json.MarshalIndent(o, "", "  ")
+}
+
+// Failed counts the tasks that produced an error.
+func (o *Outcome) Failed() int {
+	n := 0
+	for _, r := range o.Results {
+		if r.Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the campaign: every grid task exactly once across a
+// bounded worker pool, results merged by grid coordinate. A cancelled
+// context stops the dispatch and marks the remaining tasks as
+// cancelled; Run itself only returns an error for an invalid grid.
+func Run(ctx context.Context, g Grid, o Options) (*Outcome, error) {
+	g = g.withDefaults()
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := o.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tasks := g.tasks()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	start := time.Now()
+	st := o.Stats
+	if st == nil {
+		st = &Stats{}
+	}
+	st.Workers.Store(int64(workers))
+	st.Total.Store(int64(len(tasks)))
+
+	results := make([]Result, len(tasks))
+	queue := make(chan Task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range queue {
+				st.Busy.Add(1)
+				results[t.Index] = execute(ctx, g, t, o.TaskTimeout)
+				st.Busy.Add(-1)
+				st.Done.Add(1)
+				if results[t.Index].Err != "" {
+					st.Failed.Add(1)
+				}
+			}
+		}()
+	}
+dispatch:
+	for _, t := range tasks {
+		select {
+		case queue <- t:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(queue)
+	wg.Wait()
+	// Tasks never dispatched (cancelled campaign) get an explicit
+	// cancellation result instead of a zero value.
+	for i, t := range tasks {
+		if results[i].Cluster == "" {
+			r := newResult(t)
+			r.Err = "campaign cancelled before the task ran"
+			results[i] = r
+		}
+	}
+	out := &Outcome{Results: results, Wall: time.Since(start)}
+	out.Aggregates = aggregate(g, results)
+	return out, nil
+}
+
+// newResult seeds a Result with the task's identity fields.
+func newResult(t Task) Result {
+	return Result{
+		Coord:   t.Coord,
+		Cluster: t.Cluster.Name,
+		Profile: t.Profile.Name,
+		Seed:    t.Seed,
+		Target:  t.Target,
+	}
+}
+
+// execute runs one task in a child goroutine with panic capture, and
+// enforces the wall-clock timeout and campaign cancellation. On
+// timeout or cancellation the simulation goroutine is abandoned (it
+// completes in the background and its result is discarded) — the
+// simulator has no preemption points, and a stuck universe must not
+// stall the pool.
+func execute(ctx context.Context, g Grid, t Task, timeout time.Duration) Result {
+	start := time.Now()
+	done := make(chan Result, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				r := newResult(t)
+				r.Panicked = true
+				r.Err = fmt.Sprintf("panic: %v\n%s", p, debug.Stack())
+				done <- r
+			}
+		}()
+		done <- runTaskFn(g, t)
+	}()
+	var timer <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		timer = tm.C
+	}
+	var r Result
+	select {
+	case r = <-done:
+	case <-timer:
+		r = newResult(t)
+		r.Err = fmt.Sprintf("task exceeded the %v wall-clock timeout", timeout)
+	case <-ctx.Done():
+		r = newResult(t)
+		r.Err = "campaign cancelled: " + ctx.Err().Error()
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}

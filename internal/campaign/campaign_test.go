@@ -1,0 +1,257 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// smallGrid is a fast 5-node grid exercising both target kinds across
+// three seeds.
+func smallGrid() Grid {
+	return Grid{
+		Seeds:    []int64{1, 2, 3},
+		Profiles: []*cluster.TCPProfile{cluster.LAM()},
+		Clusters: []ClusterSpec{{Name: "table1:5", Cluster: cluster.Table1().Prefix(5)}},
+		Targets: []Target{
+			{Kind: Experiment, ID: "fig1"},
+			{Kind: Estimator, ID: "hethockney"},
+		},
+		ObsReps: 4,
+	}
+}
+
+// TestDeterminismAcrossParallelism is the campaign's core contract:
+// the same grid merged under one worker and under eight workers must
+// produce byte-identical canonical output — seeded runs are
+// deterministic, and completion order must not leak into the result.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	g := smallGrid()
+	serial, err := Run(context.Background(), g, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), g, Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := serial.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("parallel=1 and parallel=8 outputs differ:\n--- serial ---\n%.2000s\n--- parallel ---\n%.2000s", a, b)
+	}
+	if serial.Failed() != 0 {
+		t.Fatalf("%d tasks failed", serial.Failed())
+	}
+}
+
+func TestResultsKeyedByGridCoordinates(t *testing.T) {
+	g := smallGrid()
+	out, err := Run(context.Background(), g, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != g.Size() {
+		t.Fatalf("got %d results, want %d", len(out.Results), g.Size())
+	}
+	// Task order: targets outer, seeds inner.
+	wantSeeds := []int64{1, 2, 3, 1, 2, 3}
+	for i, r := range out.Results {
+		if r.Seed != wantSeeds[i] {
+			t.Fatalf("result %d has seed %d, want %d", i, r.Seed, wantSeeds[i])
+		}
+	}
+	for i, r := range out.Results[:3] {
+		if r.Target.ID != "fig1" || len(r.Series) == 0 {
+			t.Fatalf("result %d: want fig1 series, got %+v", i, r.Target)
+		}
+		if len(r.Metrics) == 0 {
+			t.Fatalf("result %d: fig1 should yield prediction-error metrics", i)
+		}
+	}
+	for i, r := range out.Results[3:] {
+		if r.Models == nil || r.Models.GetHetHockney() == nil {
+			t.Fatalf("estimator result %d lost its models", i)
+		}
+		if r.Models.Meta == nil || r.Models.Meta.Seed != wantSeeds[3+i] {
+			t.Fatalf("estimator result %d has wrong meta: %+v", i, r.Models.Meta)
+		}
+	}
+}
+
+func TestAggregatesSummarizeAcrossSeeds(t *testing.T) {
+	g := smallGrid()
+	out, err := Run(context.Background(), g, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Aggregates) != 2 {
+		t.Fatalf("want 2 aggregates (one per target), got %d", len(out.Aggregates))
+	}
+	fig := out.Aggregates[0]
+	if fig.Target.ID != "fig1" || fig.Seeds != 3 || fig.OK != 3 {
+		t.Fatalf("fig1 aggregate = %+v", fig)
+	}
+	if len(fig.Series) == 0 {
+		t.Fatal("fig1 aggregate has no seed-swept series")
+	}
+	for _, s := range fig.Series {
+		if len(s.Mean) != len(s.X) || len(s.CIHalf) != len(s.X) {
+			t.Fatalf("ragged aggregate series %q", s.Name)
+		}
+	}
+	est := out.Aggregates[1]
+	sum, present := est.Metrics["hockney.alpha"]
+	if !present || sum.N != 3 {
+		t.Fatalf("hockney.alpha summary missing or wrong N: %+v", est.Metrics)
+	}
+	if sum.Mean <= 0 {
+		t.Fatalf("estimated alpha mean %v not positive", sum.Mean)
+	}
+}
+
+// TestSeedSweepActuallySweeps checks that the seed axis reaches the
+// simulator. Scatter-shaped runs are legitimately seed-invariant (the
+// escalations are a many-to-one phenomenon), so the probe is the LMO
+// estimator's gather irregularity scan, whose escalation draws — and
+// therefore scan cost — depend on the seed.
+func TestSeedSweepActuallySweeps(t *testing.T) {
+	g := Grid{
+		Seeds:    []int64{1, 2, 3},
+		Clusters: []ClusterSpec{{Name: "table1:5", Cluster: cluster.Table1().Prefix(5)}},
+		Targets:  []Target{{Kind: Estimator, ID: "lmo"}},
+	}
+	out, err := Run(context.Background(), g, Options{Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := out.Aggregates[0].Metrics["cost_s"]
+	if cost.N != 3 || cost.StdDev == 0 {
+		t.Fatalf("gather-scan cost identical across seeds; seed is not reaching the simulator: %+v", cost)
+	}
+	if out.Results[0].Models.GetLMO() == nil {
+		t.Fatal("lmo estimator result lost its model")
+	}
+}
+
+func TestPanicCaptured(t *testing.T) {
+	defer func(orig func(Grid, Task) Result) { runTaskFn = orig }(runTaskFn)
+	var calls atomic.Int64
+	runTaskFn = func(g Grid, t Task) Result {
+		if calls.Add(1) == 1 {
+			panic("one bad universe")
+		}
+		return newResult(t)
+	}
+	g := smallGrid()
+	out, err := Run(context.Background(), g, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed() != 1 {
+		t.Fatalf("want exactly the panicking task to fail, got %d failures", out.Failed())
+	}
+	r := out.Results[0]
+	if !r.Panicked || !strings.Contains(r.Err, "one bad universe") {
+		t.Fatalf("panic not captured: %+v", r)
+	}
+	// The rest of the campaign survived.
+	if int(calls.Load()) != g.Size() {
+		t.Fatalf("campaign stopped early: %d of %d tasks ran", calls.Load(), g.Size())
+	}
+}
+
+func TestTaskTimeout(t *testing.T) {
+	defer func(orig func(Grid, Task) Result) { runTaskFn = orig }(runTaskFn)
+	runTaskFn = func(g Grid, tk Task) Result {
+		if tk.Index == 0 {
+			time.Sleep(2 * time.Second)
+		}
+		return newResult(tk)
+	}
+	g := smallGrid()
+	start := time.Now()
+	out, err := Run(context.Background(), g, Options{Parallel: 2, TaskTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("timeout did not free the worker (campaign took %v)", took)
+	}
+	if !strings.Contains(out.Results[0].Err, "timeout") {
+		t.Fatalf("task 0 should have timed out: %+v", out.Results[0])
+	}
+	if out.Failed() != 1 {
+		t.Fatalf("only task 0 should fail, got %d failures", out.Failed())
+	}
+}
+
+func TestCancellationMarksRemainingTasks(t *testing.T) {
+	defer func(orig func(Grid, Task) Result) { runTaskFn = orig }(runTaskFn)
+	ctx, cancel := context.WithCancel(context.Background())
+	runTaskFn = func(g Grid, tk Task) Result {
+		cancel() // cancel the campaign as soon as the first task runs
+		return newResult(tk)
+	}
+	out, err := Run(ctx, smallGrid(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := 0
+	for _, r := range out.Results {
+		if strings.Contains(r.Err, "cancel") {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no task observed the cancellation")
+	}
+	if len(out.Results) != smallGrid().Size() {
+		t.Fatal("cancelled campaign must still merge a result per task")
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	bad := []Grid{
+		{},
+		{Targets: []Target{{Kind: Experiment, ID: "nope"}}},
+		{Targets: []Target{{Kind: Estimator, ID: "nope"}}},
+		{Targets: []Target{{Kind: "wat", ID: "fig1"}}},
+		{Targets: []Target{{Kind: Experiment, ID: "fig1"}},
+			Clusters: []ClusterSpec{{Name: "nilcl"}}},
+	}
+	for i, g := range bad {
+		if _, err := Run(context.Background(), g, Options{}); err == nil {
+			t.Fatalf("grid %d should have been rejected", i)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	var st Stats
+	g := smallGrid()
+	if _, err := Run(context.Background(), g, Options{Parallel: 3, Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if snap.Total != int64(g.Size()) || snap.Done != int64(g.Size()) {
+		t.Fatalf("counters off: %+v", snap)
+	}
+	if snap.Busy != 0 || snap.Failed != 0 {
+		t.Fatalf("counters off after completion: %+v", snap)
+	}
+	if snap.Utilization() != 0 {
+		t.Fatal("idle pool should report zero utilization")
+	}
+}

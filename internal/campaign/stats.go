@@ -1,0 +1,43 @@
+package campaign
+
+import "sync/atomic"
+
+// Stats are live campaign progress counters, safe for concurrent
+// reads while the campaign runs — the substrate for a serving layer's
+// worker-utilization metrics.
+type Stats struct {
+	Total   atomic.Int64 // tasks in the grid
+	Done    atomic.Int64 // tasks completed (ok or failed)
+	Failed  atomic.Int64 // tasks that produced an error
+	Busy    atomic.Int64 // workers currently executing a task
+	Workers atomic.Int64 // pool size
+}
+
+// Snapshot is a consistent-enough copy of the counters for reporting.
+type Snapshot struct {
+	Total   int64 `json:"total"`
+	Done    int64 `json:"done"`
+	Failed  int64 `json:"failed"`
+	Busy    int64 `json:"busy"`
+	Workers int64 `json:"workers"`
+}
+
+// Snapshot reads the counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Total:   s.Total.Load(),
+		Done:    s.Done.Load(),
+		Failed:  s.Failed.Load(),
+		Busy:    s.Busy.Load(),
+		Workers: s.Workers.Load(),
+	}
+}
+
+// Utilization is the fraction of the pool currently busy (0 when the
+// campaign has not started or has finished).
+func (s Snapshot) Utilization() float64 {
+	if s.Workers == 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Workers)
+}

@@ -14,12 +14,28 @@ import (
 type ModelFile struct {
 	Version int `json:"version"`
 
+	// Meta identifies the platform the models were estimated on; a
+	// serving layer uses it to key its registry. Optional: files from
+	// older tool versions have none.
+	Meta *Meta `json:"meta,omitempty"`
+
 	Hockney    *Hockney        `json:"hockney,omitempty"`
 	HetHockney *hetHockneyJSON `json:"het_hockney,omitempty"`
 	LogP       *LogP           `json:"logp,omitempty"`
 	LogGP      *LogGP          `json:"loggp,omitempty"`
 	PLogP      *plogpJSON      `json:"plogp,omitempty"`
 	LMO        *lmoJSON        `json:"lmo,omitempty"`
+}
+
+// Meta records the estimation provenance of a model file: which
+// cluster, TCP profile and seed the experiments ran on.
+type Meta struct {
+	Cluster string `json:"cluster"`        // cluster name ("table1", ...)
+	Nodes   int    `json:"nodes"`          // number of nodes estimated on
+	Profile string `json:"profile"`        // TCP profile name ("lam", ...)
+	Seed    int64  `json:"seed"`           // randomness seed of the runs
+	Est     string `json:"est,omitempty"`  // estimation schedule note
+	Tool    string `json:"tool,omitempty"` // producing command
 }
 
 // hetHockneyJSON mirrors HetHockney with exported JSON fields.
@@ -56,7 +72,7 @@ type lmoJSON struct {
 // NewModelFile bundles models for serialization; nil entries are
 // omitted.
 func NewModelFile(hom *Hockney, het *HetHockney, logp *LogP, loggp *LogGP, plogp *PLogP, lmo *LMOX) *ModelFile {
-	mf := &ModelFile{Version: 1, Hockney: hom, LogP: logp, LogGP: loggp}
+	mf := &ModelFile{Version: FileVersion, Hockney: hom, LogP: logp, LogGP: loggp}
 	if het != nil {
 		mf.HetHockney = &hetHockneyJSON{Alpha: het.Alpha, Beta: het.Beta}
 	}
@@ -91,14 +107,25 @@ func (mf *ModelFile) Marshal() ([]byte, error) {
 	return json.MarshalIndent(mf, "", "  ")
 }
 
+// FileVersion is the model-file envelope version this build reads and
+// writes. Readers reject any other version with a clear error instead
+// of decoding garbage.
+const FileVersion = 1
+
 // UnmarshalModelFile parses a model file and reconstructs the models.
+// The envelope version must match FileVersion exactly: a missing
+// version (0) marks a file that predates the envelope, a higher one a
+// file from a newer tool.
 func UnmarshalModelFile(data []byte) (*ModelFile, error) {
 	var mf ModelFile
 	if err := json.Unmarshal(data, &mf); err != nil {
 		return nil, fmt.Errorf("models: parsing model file: %w", err)
 	}
-	if mf.Version != 1 {
-		return nil, fmt.Errorf("models: unsupported model file version %d", mf.Version)
+	switch {
+	case mf.Version == 0:
+		return nil, fmt.Errorf("models: model file has no version field; regenerate it with cmd/estimate -json")
+	case mf.Version != FileVersion:
+		return nil, fmt.Errorf("models: model file version %d is not supported (this build reads version %d); regenerate it with cmd/estimate -json", mf.Version, FileVersion)
 	}
 	return &mf, nil
 }

@@ -24,13 +24,22 @@ func TestModelFileRoundTrip(t *testing.T) {
 		ProbLow:  0.1, ProbHigh: 0.9,
 	}
 
-	data, err := NewModelFile(hom, het, logp, loggp, plogp, lmo).Marshal()
+	orig := NewModelFile(hom, het, logp, loggp, plogp, lmo)
+	orig.Meta = &Meta{
+		Cluster: "table1", Nodes: 3, Profile: "LAM 7.1.3", Seed: 42,
+		Est: "parallel", Tool: "test",
+	}
+	data, err := orig.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
 	mf, err := UnmarshalModelFile(data)
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	if mf.Meta == nil || *mf.Meta != *orig.Meta {
+		t.Fatalf("meta lost in round trip: %+v", mf.Meta)
 	}
 
 	if mf.Hockney.Alpha != hom.Alpha || mf.Hockney.Beta != hom.Beta {
@@ -92,7 +101,45 @@ func TestUnmarshalRejectsGarbageAndWrongVersion(t *testing.T) {
 	if _, err := UnmarshalModelFile([]byte("{")); err == nil {
 		t.Fatal("garbage should fail")
 	}
-	if _, err := UnmarshalModelFile([]byte(`{"version": 99}`)); err == nil {
+
+	// An incompatible version must be refused with a clear message that
+	// names both versions and the way out.
+	_, err := UnmarshalModelFile([]byte(`{"version": 99}`))
+	if err == nil {
 		t.Fatal("wrong version should fail")
+	}
+	for _, want := range []string{"99", "version 1", "regenerate"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("version error %q should mention %q", err, want)
+		}
+	}
+
+	// A file with no version field at all (pre-envelope output) is
+	// refused too, not silently accepted as version 0.
+	_, err = UnmarshalModelFile([]byte(`{"hockney": {"alpha": 1, "beta": 1}}`))
+	if err == nil {
+		t.Fatal("missing version should fail")
+	}
+	if !strings.Contains(err.Error(), "no version") || !strings.Contains(err.Error(), "regenerate") {
+		t.Fatalf("missing-version error %q should say the field is absent and how to fix it", err)
+	}
+}
+
+func TestModelFileWithoutMeta(t *testing.T) {
+	// Meta is optional in the envelope: files from older runs load fine
+	// and simply carry no provenance.
+	data, err := NewModelFile(&Hockney{Alpha: 1, Beta: 1}, nil, nil, nil, nil, nil).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"meta"`) {
+		t.Fatalf("absent meta should be omitted:\n%s", data)
+	}
+	mf, err := UnmarshalModelFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Meta != nil {
+		t.Fatalf("meta = %+v, want nil", mf.Meta)
 	}
 }

@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+)
+
+// PredictRequest asks for one collective's predicted time on a
+// platform. A registry miss estimates the platform's models first
+// (deduped across concurrent requests).
+type PredictRequest struct {
+	platformRequest
+	Op   string `json:"op"`   // "scatter" or "gather"
+	Alg  string `json:"alg"`  // "linear" (default) or "binomial"
+	M    int    `json:"m"`    // block size in bytes
+	Root int    `json:"root"` // collective root rank
+}
+
+// PredictResponse reports the per-model predictions.
+type PredictResponse struct {
+	Key         string             `json:"key"`
+	Cache       string             `json:"cache"` // "hit", "estimated" or "joined"
+	Op          string             `json:"op"`
+	Alg         string             `json:"alg"`
+	M           int                `json:"m"`
+	Nodes       int                `json:"nodes"`
+	Root        int                `json:"root"`
+	Predictions map[string]float64 `json:"predictions"` // seconds, per model
+	// BandLow/BandHigh bracket linear gather's escalation region when
+	// the LMO empirical parameters cover m.
+	BandLow  *float64 `json:"band_low,omitempty"`
+	BandHigh *float64 `json:"band_high,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	key, _, _, err := req.resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.M <= 0 {
+		httpError(w, http.StatusBadRequest, "m must be a positive block size in bytes")
+		return
+	}
+	if req.Op != "scatter" && req.Op != "gather" {
+		httpError(w, http.StatusBadRequest, "op must be scatter or gather")
+		return
+	}
+	alg := req.Alg
+	if alg == "" {
+		alg = "linear"
+	}
+	if alg != "linear" && alg != "binomial" {
+		httpError(w, http.StatusBadRequest, "alg must be linear or binomial")
+		return
+	}
+	if req.Root < 0 || req.Root >= key.Nodes {
+		httpError(w, http.StatusBadRequest, "root must be in [0, %d)", key.Nodes)
+		return
+	}
+
+	wasCached := false
+	if _, ok := s.reg.Lookup(key); ok {
+		wasCached = true
+	}
+	entry, hit, err := s.reg.GetOrEstimate(key)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := PredictResponse{
+		Key: key.String(), Op: req.Op, Alg: alg,
+		M: req.M, Nodes: key.Nodes, Root: req.Root,
+		Predictions: predictAll(entry, req.Op, alg, req.Root, key.Nodes, req.M),
+	}
+	switch {
+	case hit:
+		resp.Cache = "hit"
+	case wasCached:
+		// Lost a race with an eviction or concurrent estimation.
+		resp.Cache = "joined"
+	default:
+		resp.Cache = "estimated"
+	}
+	if req.Op == "gather" && alg == "linear" && entry.LMO != nil && entry.LMO.Gather.Valid() {
+		lo, hi := entry.LMO.GatherLinearBand(req.Root, key.Nodes, req.M)
+		if hi > lo {
+			resp.BandLow, resp.BandHigh = &lo, &hi
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// collectivePredictor is the op/alg prediction surface every model in
+// the zoo implements.
+type collectivePredictor interface {
+	ScatterLinear(root, n, m int) float64
+	ScatterBinomial(root, n, m int) float64
+	GatherLinear(root, n, m int) float64
+	GatherBinomial(root, n, m int) float64
+}
+
+// predictAll evaluates every model the entry holds on the requested
+// collective.
+func predictAll(e *Entry, op, alg string, root, n, m int) map[string]float64 {
+	zoo := map[string]collectivePredictor{}
+	if e.Hom != nil {
+		zoo["hockney"] = e.Hom
+	}
+	if e.Het != nil {
+		zoo["het-hockney"] = e.Het
+	}
+	if e.LogP != nil {
+		zoo["logp"] = e.LogP
+	}
+	if e.LogGP != nil {
+		zoo["loggp"] = e.LogGP
+	}
+	if e.PLogP != nil {
+		zoo["plogp"] = e.PLogP
+	}
+	if e.LMO != nil {
+		zoo["lmo"] = e.LMO
+	}
+	out := map[string]float64{}
+	for name, model := range zoo {
+		var v float64
+		switch {
+		case op == "scatter" && alg == "linear":
+			v = model.ScatterLinear(root, n, m)
+		case op == "scatter":
+			v = model.ScatterBinomial(root, n, m)
+		case alg == "linear":
+			v = model.GatherLinear(root, n, m)
+		default:
+			v = model.GatherBinomial(root, n, m)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// EstimateRequest launches an asynchronous estimation campaign.
+type EstimateRequest struct {
+	platformRequest
+	// Seeds to estimate; default {seed} (or {1}).
+	Seeds []int64 `json:"seeds"`
+	// Estimator selects the model families ("all", "lmo",
+	// "hethockney", "hockney", "logp", "plogp"); default "all".
+	Estimator string `json:"estimator"`
+	// Parallel is the campaign worker count; default: the server's.
+	Parallel int `json:"parallel"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req EstimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	key, spec, prof, err := req.resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{key.Seed}
+	}
+	estimator := req.Estimator
+	if estimator == "" {
+		estimator = "all"
+	}
+	modelBearing := map[string]bool{
+		"all": true, "lmo": true, "hethockney": true,
+		"hockney": true, "logp": true, "plogp": true,
+	}
+	if !modelBearing[estimator] {
+		httpError(w, http.StatusBadRequest,
+			"estimator %q does not produce servable models (all, lmo, hethockney, hockney, logp, plogp)", estimator)
+		return
+	}
+	parallel := req.Parallel
+	if parallel <= 0 {
+		parallel = s.cfg.Parallel
+	}
+
+	g := campaign.Grid{
+		Seeds:    seeds,
+		Profiles: []*cluster.TCPProfile{prof},
+		Clusters: []campaign.ClusterSpec{spec},
+		Targets:  []campaign.Target{{Kind: campaign.Estimator, ID: estimator}},
+	}
+	job := &Job{
+		Cluster: key.Cluster, Nodes: key.Nodes, Profile: key.Profile,
+		Seeds: seeds, Estimator: estimator, Parallel: parallel,
+	}
+	s.jobs.Start(job, func(st *campaign.Stats) (*campaign.Outcome, []Key, error) {
+		out, err := campaign.Run(s.ctx, g, campaign.Options{
+			Parallel:    parallel,
+			TaskTimeout: s.cfg.TaskTimeout,
+			Stats:       st,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		var keys []Key
+		for _, res := range out.Results {
+			if res.Err == "" && res.Models != nil {
+				e, err := s.reg.Put(res.Models)
+				if err != nil {
+					return out, keys, err
+				}
+				keys = append(keys, e.Key)
+			}
+		}
+		return out, keys, nil
+	})
+	writeJSON(w, http.StatusAccepted, job.snapshot())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs")
+	id = strings.TrimPrefix(id, "/")
+	if id == "" {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+		return
+	}
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// modelInfo is one GET /models row.
+type modelInfo struct {
+	Key    string   `json:"key"`
+	Models []string `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	entries := s.reg.Entries()
+	infos := make([]modelInfo, 0, len(entries))
+	for _, e := range entries {
+		var present []string
+		for _, m := range []struct {
+			name string
+			has  bool
+		}{
+			{"hockney", e.Hom != nil},
+			{"het-hockney", e.Het != nil},
+			{"logp", e.LogP != nil},
+			{"loggp", e.LogGP != nil},
+			{"plogp", e.PLogP != nil},
+			{"lmo", e.LMO != nil},
+		} {
+			if m.has {
+				present = append(present, m.name)
+			}
+		}
+		infos = append(infos, modelInfo{Key: e.Key.String(), Models: present})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos, "capacity": s.reg.cap})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.Report(s.reg, s.jobs))
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/stats"
+)
+
+// JobState is an estimation job's lifecycle state.
+type JobState string
+
+// The job states.
+const (
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one asynchronous estimation campaign: POST /estimate creates
+// it, GET /jobs/{id} polls it, and its completed models land in the
+// model registry.
+type Job struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Cluster   string   `json:"cluster"`
+	Nodes     int      `json:"nodes"`
+	Profile   string   `json:"profile"`
+	Seeds     []int64  `json:"seeds"`
+	Estimator string   `json:"estimator"`
+	Parallel  int      `json:"parallel"`
+
+	// Progress counts tasks while running and after completion.
+	Progress campaign.Snapshot `json:"progress"`
+	// Error is set for failed jobs and for per-task failures.
+	Error string `json:"error,omitempty"`
+	// Metrics holds the seed-aggregated parameter statistics of a
+	// completed job (mean/CI across seeds).
+	Metrics map[string]stats.Summary `json:"metrics,omitempty"`
+	// ModelKeys are the registry keys the job populated.
+	ModelKeys []string `json:"model_keys,omitempty"`
+	// Took is the campaign's wall-clock duration once done.
+	Took string `json:"took,omitempty"`
+
+	seq   int
+	stats *campaign.Stats
+}
+
+// snapshot renders the job's public state, refreshing the live
+// progress counters of a running campaign.
+func (j *Job) snapshot() Job {
+	cp := *j
+	if j.stats != nil {
+		cp.Progress = j.stats.Snapshot()
+	}
+	cp.stats = nil
+	return cp
+}
+
+// Jobs tracks estimation campaigns.
+type Jobs struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*Job
+}
+
+// NewJobs builds an empty job table.
+func NewJobs() *Jobs {
+	return &Jobs{jobs: make(map[string]*Job)}
+}
+
+// Start registers a job and launches its campaign in the background;
+// run executes the campaign and returns the registry keys populated.
+func (js *Jobs) Start(j *Job, run func(*campaign.Stats) (*campaign.Outcome, []Key, error)) *Job {
+	js.mu.Lock()
+	js.seq++
+	j.seq = js.seq
+	j.ID = fmt.Sprintf("job-%d", js.seq)
+	j.State = JobRunning
+	j.stats = &campaign.Stats{}
+	js.jobs[j.ID] = j
+	js.mu.Unlock()
+
+	go func() {
+		out, keys, err := run(j.stats)
+		js.mu.Lock()
+		defer js.mu.Unlock()
+		j.Progress = j.stats.Snapshot()
+		if err != nil {
+			j.State = JobFailed
+			j.Error = err.Error()
+			return
+		}
+		j.State = JobDone
+		j.Took = out.Wall.Round(time.Millisecond).String()
+		for _, k := range keys {
+			j.ModelKeys = append(j.ModelKeys, k.String())
+		}
+		if failed := out.Failed(); failed > 0 {
+			j.Error = fmt.Sprintf("%d of %d tasks failed: %s", failed, len(out.Results), firstError(out))
+		}
+		if len(out.Aggregates) > 0 {
+			j.Metrics = out.Aggregates[0].Metrics
+		}
+	}()
+	return j
+}
+
+func firstError(out *campaign.Outcome) string {
+	for _, r := range out.Results {
+		if r.Err != "" {
+			return r.Err
+		}
+	}
+	return ""
+}
+
+// Get returns a snapshot of the job, or false.
+func (js *Jobs) Get(id string) (Job, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.snapshot(), true
+}
+
+// List snapshots every job, newest first.
+func (js *Jobs) List() []Job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make([]Job, 0, len(js.jobs))
+	for _, j := range js.jobs {
+		out = append(out, j.snapshot())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq > out[b].seq })
+	return out
+}
+
+// Utilization sums busy workers and pool sizes across running jobs.
+func (js *Jobs) Utilization() (busy, workers int64) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	for _, j := range js.jobs {
+		if j.State == JobRunning && j.stats != nil {
+			s := j.stats.Snapshot()
+			busy += s.Busy
+			workers += s.Workers
+		}
+	}
+	return busy, workers
+}

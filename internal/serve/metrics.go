@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// endpointStats accumulates request counts and latencies for one
+// endpoint.
+type endpointStats struct {
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"` // responses with status >= 400
+	MeanMs  float64 `json:"mean_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	totalMs float64
+}
+
+// Metrics aggregates the service's observability counters.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointStats
+}
+
+// NewMetrics builds an empty metrics table.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+// Observe records one request.
+func (m *Metrics) Observe(endpoint string, status int, took time.Duration) {
+	ms := float64(took) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es := m.endpoints[endpoint]
+	if es == nil {
+		es = &endpointStats{}
+		m.endpoints[endpoint] = es
+	}
+	es.Count++
+	if status >= 400 {
+		es.Errors++
+	}
+	es.totalMs += ms
+	if ms > es.MaxMs {
+		es.MaxMs = ms
+	}
+}
+
+// MetricsReport is the GET /metrics payload.
+type MetricsReport struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Requests      map[string]endpointStats `json:"requests"`
+	Cache         CacheStats               `json:"cache"`
+	CacheEntries  int                      `json:"cache_entries"`
+	// Campaign worker utilization across the running estimation jobs.
+	Campaign struct {
+		RunningJobs int     `json:"running_jobs"`
+		BusyWorkers int64   `json:"busy_workers"`
+		Workers     int64   `json:"workers"`
+		Utilization float64 `json:"utilization"`
+	} `json:"campaign"`
+}
+
+// Report assembles the metrics payload from the service's parts.
+func (m *Metrics) Report(reg *Registry, jobs *Jobs) MetricsReport {
+	var rep MetricsReport
+	m.mu.Lock()
+	rep.UptimeSeconds = time.Since(m.start).Seconds()
+	rep.Requests = make(map[string]endpointStats, len(m.endpoints))
+	for name, es := range m.endpoints {
+		cp := *es
+		if cp.Count > 0 {
+			cp.MeanMs = cp.totalMs / float64(cp.Count)
+		}
+		rep.Requests[name] = cp
+	}
+	m.mu.Unlock()
+
+	rep.Cache = reg.Stats()
+	rep.CacheEntries = reg.Len()
+	busy, workers := jobs.Utilization()
+	rep.Campaign.BusyWorkers = busy
+	rep.Campaign.Workers = workers
+	if workers > 0 {
+		rep.Campaign.Utilization = float64(busy) / float64(workers)
+	}
+	for _, j := range jobs.List() {
+		if j.State == JobRunning {
+			rep.Campaign.RunningJobs++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,236 @@
+// Package serve implements the lmoserve prediction service: an
+// in-memory registry of estimated models (LRU-bounded, singleflight-
+// deduped), asynchronous estimation jobs backed by the campaign
+// engine, and the HTTP API over both — the estimate-once / predict-
+// many workflow of the paper's companion tool, as a service.
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/models"
+)
+
+// Key identifies a model set in the registry: the platform it was
+// estimated on.
+type Key struct {
+	Cluster string `json:"cluster"` // cluster name ("table1", ...)
+	Nodes   int    `json:"nodes"`   // node count (a prefix of the cluster)
+	Profile string `json:"profile"` // TCP profile name ("lam", ...)
+	Seed    int64  `json:"seed"`    // randomness seed
+}
+
+// String renders the registry key ("table1[16]/lam/seed1").
+func (k Key) String() string {
+	return fmt.Sprintf("%s[%d]/%s/seed%d", k.Cluster, k.Nodes, k.Profile, k.Seed)
+}
+
+// keyOfMeta derives the registry key of a model file's provenance.
+func keyOfMeta(m *models.Meta) Key {
+	return Key{Cluster: m.Cluster, Nodes: m.Nodes, Profile: m.Profile, Seed: m.Seed}
+}
+
+// Entry is a registry-resident model set with its reconstructed
+// predictors.
+type Entry struct {
+	Key  Key
+	File *models.ModelFile
+
+	Hom   *models.Hockney
+	Het   *models.HetHockney
+	LogP  *models.LogP
+	LogGP *models.LogGP
+	PLogP *models.PLogP
+	LMO   *models.LMOX
+}
+
+// newEntry reconstructs the predictors of a model file. The file must
+// carry provenance metadata — without it the models cannot be keyed.
+func newEntry(mf *models.ModelFile) (*Entry, error) {
+	if mf.Meta == nil {
+		return nil, fmt.Errorf("serve: model file has no meta (cluster/profile/seed provenance); regenerate it with cmd/estimate -json")
+	}
+	plogp, err := mf.GetPLogP()
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{
+		Key:   keyOfMeta(mf.Meta),
+		File:  mf,
+		Hom:   mf.Hockney,
+		Het:   mf.GetHetHockney(),
+		LogP:  mf.LogP,
+		LogGP: mf.LogGP,
+		PLogP: plogp,
+		LMO:   mf.GetLMO(),
+	}, nil
+}
+
+// CacheStats are the registry's monotone counters.
+type CacheStats struct {
+	Hits        int64 `json:"hits"`        // lookups answered from the cache
+	Misses      int64 `json:"misses"`      // lookups that triggered an estimation
+	Deduped     int64 `json:"deduped"`     // lookups that joined an in-flight estimation
+	Estimations int64 `json:"estimations"` // estimations actually performed
+	Evictions   int64 `json:"evictions"`   // entries dropped by the LRU bound
+}
+
+// flight is one in-progress estimation shared by every concurrent
+// request for the same key.
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// Registry is the LRU-bounded, singleflight-deduped model store.
+// Concurrent GetOrEstimate calls for the same un-estimated key run one
+// estimation; the others wait for it.
+type Registry struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *Entry
+	entries map[Key]*list.Element
+	flights map[Key]*flight
+	stats   CacheStats
+
+	// estimate produces the models for a missing key (injected by the
+	// server; tests substitute it).
+	estimate func(Key) (*models.ModelFile, error)
+}
+
+// NewRegistry builds a registry bounded to capacity entries (minimum
+// 1) over the given estimator.
+func NewRegistry(capacity int, estimate func(Key) (*models.ModelFile, error)) *Registry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Registry{
+		cap:      capacity,
+		order:    list.New(),
+		entries:  make(map[Key]*list.Element),
+		flights:  make(map[Key]*flight),
+		estimate: estimate,
+	}
+}
+
+// Put inserts a model file (from a preload or a completed estimation
+// job), evicting the least-recently-used entry beyond capacity.
+func (r *Registry) Put(mf *models.ModelFile) (*Entry, error) {
+	e, err := newEntry(mf)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.insertLocked(e)
+	return e, nil
+}
+
+func (r *Registry) insertLocked(e *Entry) {
+	if el, ok := r.entries[e.Key]; ok {
+		el.Value = e
+		r.order.MoveToFront(el)
+		return
+	}
+	r.entries[e.Key] = r.order.PushFront(e)
+	for r.order.Len() > r.cap {
+		last := r.order.Back()
+		delete(r.entries, last.Value.(*Entry).Key)
+		r.order.Remove(last)
+		r.stats.Evictions++
+	}
+}
+
+// Lookup returns the cached entry without estimating (no counters).
+func (r *Registry) Lookup(k Key) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.entries[k]; ok {
+		r.order.MoveToFront(el)
+		return el.Value.(*Entry), true
+	}
+	return nil, false
+}
+
+// GetOrEstimate returns the entry for k, estimating it when absent.
+// The boolean reports a cache hit. Concurrent calls for the same
+// missing key share one estimation.
+func (r *Registry) GetOrEstimate(k Key) (*Entry, bool, error) {
+	r.mu.Lock()
+	if el, ok := r.entries[k]; ok {
+		r.order.MoveToFront(el)
+		r.stats.Hits++
+		r.mu.Unlock()
+		return el.Value.(*Entry), true, nil
+	}
+	if f, ok := r.flights[k]; ok {
+		r.stats.Deduped++
+		r.mu.Unlock()
+		<-f.done
+		return f.entry, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	r.flights[k] = f
+	r.stats.Misses++
+	r.stats.Estimations++
+	r.mu.Unlock()
+
+	mf, err := r.estimate(k)
+	var entry *Entry
+	if err == nil {
+		entry, err = newEntry(mf)
+	}
+	if err == nil && entry.Key != k {
+		err = fmt.Errorf("serve: estimator returned models for %v, requested %v", entry.Key, k)
+	}
+
+	r.mu.Lock()
+	if err == nil {
+		r.insertLocked(entry)
+	}
+	f.entry, f.err = entry, err
+	delete(r.flights, k)
+	r.mu.Unlock()
+	close(f.done)
+	return entry, false, err
+}
+
+// Keys lists the cached keys, most recently used first.
+func (r *Registry) Keys() []Key {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Key, 0, r.order.Len())
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Entry).Key)
+	}
+	return out
+}
+
+// Entries snapshots the cached entries, most recently used first,
+// without touching the recency order.
+func (r *Registry) Entries() []*Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Entry, 0, r.order.Len())
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Entry))
+	}
+	return out
+}
+
+// Stats snapshots the cache counters.
+func (r *Registry) Stats() CacheStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Len is the number of cached entries.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}

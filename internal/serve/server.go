@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+	"repro/internal/models"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Capacity bounds the model registry (LRU; default 64 entries).
+	Capacity int
+	// Parallel is the default campaign worker count for estimation
+	// jobs (<=0: GOMAXPROCS).
+	Parallel int
+	// TaskTimeout bounds each estimation task's wall-clock time
+	// (default 5 minutes).
+	TaskTimeout time.Duration
+	// Preload seeds the registry with model files (from
+	// cmd/estimate -json); each must carry provenance metadata.
+	Preload []*models.ModelFile
+}
+
+// Server is the lmoserve HTTP service.
+type Server struct {
+	ctx     context.Context
+	reg     *Registry
+	jobs    *Jobs
+	metrics *Metrics
+	mux     *http.ServeMux
+	cfg     Config
+}
+
+// New builds the service; ctx bounds the lifetime of background
+// estimation jobs.
+func New(ctx context.Context, cfg Config) (*Server, error) {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.TaskTimeout <= 0 {
+		cfg.TaskTimeout = 5 * time.Minute
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Server{
+		ctx:     ctx,
+		jobs:    NewJobs(),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		cfg:     cfg,
+	}
+	s.reg = NewRegistry(cfg.Capacity, s.estimateKey)
+	for _, mf := range cfg.Preload {
+		if _, err := s.reg.Put(mf); err != nil {
+			return nil, fmt.Errorf("serve: preloading models: %w", err)
+		}
+	}
+	s.mux.HandleFunc("/predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("/estimate", s.instrument("estimate", s.handleEstimate))
+	s.mux.HandleFunc("/jobs", s.instrument("jobs", s.handleJobs))
+	s.mux.HandleFunc("/jobs/", s.instrument("jobs", s.handleJobs))
+	s.mux.HandleFunc("/models", s.instrument("models", s.handleModels))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry exposes the model store (for preloading and tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.metrics.Observe(name, rec.status, time.Since(start))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// platformRequest selects the simulated platform a request refers to.
+type platformRequest struct {
+	Cluster string `json:"cluster"` // default "table1"
+	Nodes   int    `json:"nodes"`   // default: the cluster's full size
+	Profile string `json:"profile"` // default "lam"
+	Seed    int64  `json:"seed"`    // default 1
+}
+
+// resolve validates the platform and returns the registry key plus the
+// concrete cluster spec.
+func (p platformRequest) resolve() (Key, campaign.ClusterSpec, *cluster.TCPProfile, error) {
+	name := p.Cluster
+	if name == "" {
+		name = "table1"
+	}
+	var cl *cluster.Cluster
+	switch name {
+	case "table1":
+		cl = cluster.Table1()
+	case "table1hetero":
+		cl = cluster.Table1Hetero()
+	default:
+		return Key{}, campaign.ClusterSpec{}, nil, fmt.Errorf("unknown cluster %q (table1, table1hetero)", name)
+	}
+	nodes := p.Nodes
+	if nodes == 0 {
+		nodes = cl.N()
+	}
+	if nodes < 3 || nodes > cl.N() {
+		return Key{}, campaign.ClusterSpec{}, nil, fmt.Errorf("nodes must be in [3, %d]", cl.N())
+	}
+	cl = cl.Prefix(nodes)
+	profName := p.Profile
+	if profName == "" {
+		profName = "lam"
+	}
+	var prof *cluster.TCPProfile
+	switch profName {
+	case "lam":
+		prof = cluster.LAM()
+	case "mpich":
+		prof = cluster.MPICH()
+	case "ideal":
+		prof = cluster.Ideal()
+	default:
+		return Key{}, campaign.ClusterSpec{}, nil, fmt.Errorf("unknown profile %q (lam, mpich, ideal)", profName)
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	key := Key{Cluster: name, Nodes: nodes, Profile: prof.Name, Seed: seed}
+	return key, campaign.ClusterSpec{Name: name, Cluster: cl}, prof, nil
+}
+
+// keyPlatform reconstructs the platform of a registry key (used by the
+// registry's estimator callback).
+func keyPlatform(k Key) (platformRequest, error) {
+	profName := k.Profile
+	// Profile names in keys are the profile's display name; map the
+	// known ones back to request identifiers.
+	switch {
+	case strings.HasPrefix(strings.ToLower(profName), "lam"):
+		profName = "lam"
+	case strings.HasPrefix(strings.ToLower(profName), "mpich"):
+		profName = "mpich"
+	case strings.EqualFold(profName, "ideal"):
+		profName = "ideal"
+	}
+	return platformRequest{Cluster: k.Cluster, Nodes: k.Nodes, Profile: profName, Seed: k.Seed}, nil
+}
+
+// estimateKey is the registry's miss path: estimate every model family
+// for the key's platform in a one-task campaign (panic capture and
+// task timeout included).
+func (s *Server) estimateKey(k Key) (*models.ModelFile, error) {
+	preq, err := keyPlatform(k)
+	if err != nil {
+		return nil, err
+	}
+	_, spec, prof, err := preq.resolve()
+	if err != nil {
+		return nil, err
+	}
+	g := campaign.Grid{
+		Seeds:    []int64{k.Seed},
+		Profiles: []*cluster.TCPProfile{prof},
+		Clusters: []campaign.ClusterSpec{spec},
+		Targets:  []campaign.Target{{Kind: campaign.Estimator, ID: "all"}},
+	}
+	out, err := campaign.Run(s.ctx, g, campaign.Options{Parallel: 1, TaskTimeout: s.cfg.TaskTimeout})
+	if err != nil {
+		return nil, err
+	}
+	r := out.Results[0]
+	if r.Err != "" {
+		return nil, fmt.Errorf("estimation failed: %s", r.Err)
+	}
+	return r.Models, nil
+}

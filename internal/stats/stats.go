@@ -210,11 +210,11 @@ func TCritical(confidence float64, df int) float64 {
 
 // Summary describes a measured sample with its confidence interval.
 type Summary struct {
-	N          int     // number of observations
-	Mean       float64 // sample mean
-	StdDev     float64 // sample standard deviation
-	CIHalf     float64 // half-width of the confidence interval
-	Confidence float64 // confidence level the half-width was computed at
+	N          int     `json:"n"`          // number of observations
+	Mean       float64 `json:"mean"`       // sample mean
+	StdDev     float64 `json:"stddev"`     // sample standard deviation
+	CIHalf     float64 `json:"ci_half"`    // half-width of the confidence interval
+	Confidence float64 `json:"confidence"` // confidence level the half-width was computed at
 }
 
 // RelErr returns the relative error CIHalf/Mean (infinite for zero mean
