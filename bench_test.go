@@ -239,7 +239,9 @@ func BenchmarkIrregularityDetection(b *testing.B) {
 // ---- substrate micro-benchmarks ----
 
 // BenchmarkEngineEvents measures raw event throughput of the
-// simulation kernel.
+// simulation kernel. The allocation-free fast path makes -benchmem
+// report 0 allocs/op here; internal/simbench keeps the calibrated
+// before/after snapshot.
 func BenchmarkEngineEvents(b *testing.B) {
 	eng := vtime.NewEngine()
 	eng.Go("ticker", func(p *vtime.Proc) {
@@ -247,6 +249,7 @@ func BenchmarkEngineEvents(b *testing.B) {
 			p.Sleep(time.Microsecond)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := eng.Run(); err != nil {
 		b.Fatal(err)

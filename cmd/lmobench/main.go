@@ -16,6 +16,12 @@
 //	lmobench -exp fig4 -csv fig4.csv   # export the series
 //	lmobench -exp fig4 -seeds 10       # seed sweep with mean ± CI
 //	lmobench -list                     # list experiments
+//
+// For profiling the simulation kernel, -cpuprofile and -memprofile
+// write pprof profiles of the run (error exits skip the flush, as with
+// go test's profiling flags):
+//
+//	lmobench -exp table1 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -46,8 +54,40 @@ func main() {
 		clPath   = flag.String("cluster", "", "JSON cluster description to use instead of Table I")
 		seeds    = flag.Int("seeds", 1, "sweep this many consecutive seeds (starting at -seed) as a campaign and report mean ± CI")
 		parallel = flag.Int("parallel", 0, "campaign worker count for -seeds sweeps (0: GOMAXPROCS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, r := range experiment.Runners() {

@@ -1,0 +1,202 @@
+package commperf
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/estimate"
+	"repro/internal/faults"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// -update regenerates the golden files under testdata/ from the
+// current kernel. The committed goldens were produced by the
+// pre-optimization event kernel, so a passing run proves the
+// allocation-free fast path reproduces every simulated timestamp,
+// counter and estimated parameter byte for byte.
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenScenario fixes every input of a simulation run: cluster size,
+// TCP profile, seed and fault plan.
+type goldenScenario struct {
+	name  string
+	nodes int
+	prof  func() *cluster.TCPProfile
+	seed  int64
+	plan  *faults.Plan
+}
+
+func goldenScenarios() []goldenScenario {
+	return []goldenScenario{
+		{name: "mixed-lam-6", nodes: 6, prof: cluster.LAM, seed: 3},
+		{name: "rendezvous-lam-4", nodes: 4,
+			prof: func() *cluster.TCPProfile { return cluster.LAM().RendezvousAt(32 << 10) }, seed: 5},
+		{name: "faults-demo-8", nodes: 8, prof: cluster.LAM, seed: 9, plan: faults.Demo(8)},
+	}
+}
+
+// goldenWorkload exercises every hot path of the simulator: binomial
+// scatter (tree sends), linear gather through the irregular region
+// (escalations, mailbox scans), and a ring exchange large enough to
+// take the rendezvous path when the profile enables one.
+func goldenWorkload(r *mpi.Rank) {
+	r.HardSync()
+	blocks := make([][]byte, r.Size())
+	for i := range blocks {
+		blocks[i] = make([]byte, 4<<10)
+	}
+	r.Scatter(mpi.Binomial, 0, blocks)
+	r.HardSync()
+	r.Gather(mpi.Linear, 0, make([]byte, 48<<10))
+	r.HardSync()
+	next := (r.Rank() + 1) % r.Size()
+	prev := (r.Rank() + r.Size() - 1) % r.Size()
+	r.Send(next, 7, make([]byte, 64<<10))
+	r.Recv(prev, 7)
+	r.HardSync()
+}
+
+// runGoldenScenario executes the scenario and renders the full
+// observable behaviour — trace, counters, duration — as canonical text.
+func runGoldenScenario(t *testing.T, sc goldenScenario) string {
+	t.Helper()
+	var events []simnet.TraceEvent
+	installed := false
+	res, err := mpi.Run(mpi.Config{
+		Cluster: cluster.Table1().Prefix(sc.nodes),
+		Profile: sc.prof(),
+		Seed:    sc.seed,
+		Faults:  sc.plan,
+	}, func(r *mpi.Rank) {
+		if !installed {
+			installed = true
+			r.Network().SetTracer(func(ev simnet.TraceEvent) { events = append(events, ev) })
+		}
+		goldenWorkload(r)
+	})
+	if err != nil {
+		t.Fatalf("scenario %s: %v", sc.name, err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s\n", sc.name)
+	fmt.Fprintf(&b, "duration %d\n", int64(res.Duration))
+	c := res.Net
+	fmt.Fprintf(&b, "counters messages=%d bytes=%d escalations=%d serialized=%d lost=%d stalled=%d blackhole=%d crashed=%d\n",
+		c.Messages, c.Bytes, c.Escalations, c.Serialized, c.Lost, int64(c.Stalled), c.BlackHole, c.Crashed)
+	fmt.Fprintf(&b, "trace %d events\n", len(events))
+	for _, ev := range events {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderLMO formats every estimated parameter of the extended LMO
+// model at full float64 precision.
+func renderLMO(t *testing.T) string {
+	t.Helper()
+	lmo, rep, err := estimate.LMOX(mpi.Config{
+		Cluster: cluster.Table1().Prefix(5),
+		Profile: cluster.LAM(),
+		Seed:    7,
+	}, estimate.Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "lmo estimate table1:5 lam seed=7\n")
+	fmt.Fprintf(&b, "cost %d\n", int64(rep.Cost))
+	for i, c := range lmo.C {
+		fmt.Fprintf(&b, "C[%d] %.17g\n", i, c)
+	}
+	for i, tv := range lmo.T {
+		fmt.Fprintf(&b, "T[%d] %.17g\n", i, tv)
+	}
+	for i := range lmo.L {
+		for j := range lmo.L[i] {
+			if i == j {
+				continue
+			}
+			fmt.Fprintf(&b, "L[%d][%d] %.17g Beta[%d][%d] %.17g\n", i, j, lmo.L[i][j], i, j, lmo.Beta[i][j])
+		}
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, file, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to generate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverges from %s;\nthe event kernel changed observable simulation behaviour.\ngot:\n%s\nwant:\n%s",
+			path, clipGolden(got), clipGolden(string(want)))
+	}
+}
+
+// clipGolden keeps failure output readable for multi-thousand-line traces.
+func clipGolden(s string) string {
+	const max = 4000
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + fmt.Sprintf("\n... (%d bytes total)", len(s))
+}
+
+// TestGoldenTraces locks the simulator's observable behaviour —
+// timestamps, event order, counters — to the committed goldens
+// produced before the allocation-free fast path was introduced.
+func TestGoldenTraces(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			checkGolden(t, "golden_trace_"+sc.name+".txt", runGoldenScenario(t, sc))
+		})
+	}
+}
+
+// TestGoldenLMOEstimate locks the estimated extended-LMO parameters to
+// the pre-optimization values at full precision.
+func TestGoldenLMOEstimate(t *testing.T) {
+	checkGolden(t, "golden_lmo.txt", renderLMO(t))
+}
+
+// TestDeterministicReruns verifies that a fixed (cluster, profile,
+// seed, fault plan) scenario produces identical traces, counters and
+// estimates when run twice in one process. The CI race job runs this
+// under -race, standing guard over the vtime coroutine handoff.
+func TestDeterministicReruns(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			a := runGoldenScenario(t, sc)
+			b := runGoldenScenario(t, sc)
+			if a != b {
+				t.Errorf("two runs of %s diverge:\n--- first ---\n%s\n--- second ---\n%s",
+					sc.name, clipGolden(a), clipGolden(b))
+			}
+		})
+	}
+	t.Run("lmo-estimate", func(t *testing.T) {
+		if a, b := renderLMO(t), renderLMO(t); a != b {
+			t.Errorf("two estimations diverge:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+		}
+	})
+}

@@ -22,6 +22,15 @@ import (
 //
 // which rewrites BENCH_campaign.json at the repository root.
 func BenchmarkCampaignThroughput(b *testing.B) {
+	// Run at the host's full width: a -cpu flag or an inherited
+	// GOMAXPROCS=1 would otherwise serialize the worker pool and make
+	// the scaling figures meaningless. The snapshot records the actual
+	// width used so a single-core container's flat curve reads as what
+	// it is rather than as a scheduler defect.
+	prev := runtime.GOMAXPROCS(runtime.NumCPU())
+	defer runtime.GOMAXPROCS(prev)
+	benchGOMAXPROCS = runtime.NumCPU()
+
 	const tasksPerRun = 8
 	grid := Grid{
 		Profiles: []*cluster.TCPProfile{cluster.LAM()},
@@ -53,7 +62,10 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 
 // benchResults accumulates the sub-benchmark figures; TestMain flushes
 // them to BENCH_campaign.json when benchmarks actually ran.
-var benchResults []benchResult
+var (
+	benchResults    []benchResult
+	benchGOMAXPROCS int
+)
 
 type benchResult struct {
 	Workers    int     `json:"workers"`
@@ -77,17 +89,19 @@ func TestMain(m *testing.M) {
 	code := m.Run()
 	if len(benchResults) > 0 {
 		doc := struct {
-			Benchmark string        `json:"benchmark"`
-			Unit      string        `json:"unit"`
-			Workload  string        `json:"workload"`
-			CPUs      int           `json:"cpus"` // worker scaling is bounded by this
-			Results   []benchResult `json:"results"`
+			Benchmark  string        `json:"benchmark"`
+			Unit       string        `json:"unit"`
+			Workload   string        `json:"workload"`
+			CPUs       int           `json:"cpus"`       // worker scaling is bounded by this
+			GOMAXPROCS int           `json:"gomaxprocs"` // parallelism the pool actually ran at
+			Results    []benchResult `json:"results"`
 		}{
-			Benchmark: "BenchmarkCampaignThroughput",
-			Unit:      "simulation runs per second",
-			Workload:  "8 seeds x het-Hockney estimation on a 5-node Table I prefix",
-			CPUs:      runtime.NumCPU(),
-			Results:   benchResults,
+			Benchmark:  "BenchmarkCampaignThroughput",
+			Unit:       "simulation runs per second",
+			Workload:   "8 seeds x het-Hockney estimation on a 5-node Table I prefix",
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: benchGOMAXPROCS,
+			Results:    benchResults,
 		}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err == nil {

@@ -328,6 +328,10 @@ func newResult(t Task) Result {
 func execute(ctx context.Context, g Grid, t Task, timeout time.Duration) Result {
 	start := time.Now()
 	done := make(chan Result, 1)
+	// Read the (test-swappable) task hook before spawning: the goroutine
+	// may outlive execute when the task is abandoned on timeout or
+	// cancellation, and must not touch package state after that.
+	runTask := runTaskFn
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
@@ -337,7 +341,7 @@ func execute(ctx context.Context, g Grid, t Task, timeout time.Duration) Result 
 				done <- r
 			}
 		}()
-		done <- runTaskFn(g, t)
+		done <- runTask(g, t)
 	}()
 	var timer <-chan time.Time
 	if timeout > 0 {

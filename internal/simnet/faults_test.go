@@ -257,7 +257,7 @@ func TestRecvDeadlineTimesOut(t *testing.T) {
 
 func TestRecvDeadlineDeliversInTime(t *testing.T) {
 	cl := testCluster(2)
-	var msg *Message
+	var msg Message
 	var msgErr error
 	_, err := runFaults(t, cl, nil, 1, func(net *Network, eng *vtime.Engine) {
 		eng.Go("receiver", func(p *vtime.Proc) {
@@ -270,7 +270,7 @@ func TestRecvDeadlineDeliversInTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if msgErr != nil || msg == nil || msg.Src != 0 {
+	if msgErr != nil || msg.Src != 0 {
 		t.Fatalf("RecvDeadline = (%v, %v), want message from 0", msg, msgErr)
 	}
 }

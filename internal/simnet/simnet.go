@@ -79,6 +79,11 @@ type Network struct {
 	linkFree    [][]time.Duration // per directed link: when its transmission slot frees
 	ingressFree []time.Duration   // per node: when its serialized ingress port frees
 	inflight    [][]int           // inflight[dst][src]: concurrent wire transfers per flow
+	inflightTot []int             // inflightTot[dst]: sum of inflight[dst][*], kept in step
+
+	rdv         []*vtime.Cond // per-(src,dst) rendezvous completion conds, created lazily
+	free        []*Message    // freelist of recycled Message structs
+	freeTransit []*inTransit  // freelist of recycled delivery handlers
 
 	inj  *faults.Injector // nil-safe fault injection (nil = no faults)
 	dead []bool           // per node: crash event has fired
@@ -110,6 +115,8 @@ func New(eng *vtime.Engine, cl *cluster.Cluster, prof *cluster.TCPProfile, seed 
 		linkFree:    make([][]time.Duration, n),
 		ingressFree: make([]time.Duration, n),
 		inflight:    make([][]int, n),
+		inflightTot: make([]int, n),
+		rdv:         make([]*vtime.Cond, n*n),
 		dead:        make([]bool, n),
 	}
 	for i := 0; i < n; i++ {
@@ -132,6 +139,102 @@ func (n *Network) Profile() *cluster.TCPProfile { return n.prof }
 
 // Counters returns a snapshot of the traffic counters.
 func (n *Network) Counters() Counters { return n.counters }
+
+// getMessage takes a Message struct from the freelist, falling back to
+// the heap. Messages cycle sender → mailbox → receiver copy → freelist,
+// so steady-state traffic allocates no message headers.
+func (n *Network) getMessage() *Message {
+	if k := len(n.free); k > 0 {
+		m := n.free[k-1]
+		n.free = n.free[:k-1]
+		return m
+	}
+	return &Message{}
+}
+
+// putMessage recycles a message header once its contents have been
+// copied out (or the message was black-holed). The payload reference is
+// dropped so the freelist does not pin user buffers.
+func (n *Network) putMessage(m *Message) {
+	*m = Message{}
+	n.free = append(n.free, m)
+}
+
+// inTransit is the delivery handler for one message on the wire. It
+// implements vtime.Handler so arrival can be scheduled without
+// allocating a closure, and it is pooled: non-rendezvous deliveries
+// recycle it in Fire, rendezvous senders recycle it after their wait
+// completes (or, if the sender timed out first, mark it abandoned and
+// Fire recycles it).
+type inTransit struct {
+	net       *Network
+	msg       *Message
+	delivered *vtime.Cond // non-nil for rendezvous sends
+	arrived   bool        // set by Fire; polled by the rendezvous sender
+	abandoned bool        // sender timed out; Fire owns the recycle
+}
+
+// Fire completes the wire phase: it books the arrival, delivers into
+// the destination mailbox (or black-holes the message if the node
+// crashed mid-flight) and wakes any rendezvous sender.
+func (d *inTransit) Fire() {
+	n, msg := d.net, d.msg
+	src, dst := msg.Src, msg.Dst
+	n.inflight[dst][src]--
+	n.inflightTot[dst]--
+	if n.dead[dst] {
+		// The destination crashed while the message was on the wire:
+		// black-hole it.
+		n.counters.BlackHole++
+		n.putMessage(msg)
+	} else {
+		msg.ArrivedAt = n.eng.Now()
+		n.boxes[dst] = append(n.boxes[dst], msg)
+		n.conds[dst].Broadcast()
+		n.trace(TraceDeliver, n.eng.Now(), msg, false)
+	}
+	if d.delivered != nil {
+		d.arrived = true
+		d.delivered.Broadcast()
+		if d.abandoned {
+			n.putTransit(d)
+		}
+		return
+	}
+	n.putTransit(d)
+}
+
+// getTransit takes a delivery handler from the freelist, falling back
+// to the heap.
+func (n *Network) getTransit() *inTransit {
+	if k := len(n.freeTransit); k > 0 {
+		d := n.freeTransit[k-1]
+		n.freeTransit = n.freeTransit[:k-1]
+		return d
+	}
+	return &inTransit{}
+}
+
+// putTransit recycles a delivery handler once both the engine event and
+// any rendezvous waiter are done with it.
+func (n *Network) putTransit(d *inTransit) {
+	*d = inTransit{}
+	n.freeTransit = append(n.freeTransit, d)
+}
+
+// rendezvousCond returns the (src,dst) pair's rendezvous completion
+// cond, creating it on first use. Rendezvous sends between one pair
+// serialize (the sender blocks until delivery), so one reusable cond
+// per pair replaces a fresh allocation per rendezvous send.
+func (n *Network) rendezvousCond(src, dst int) *vtime.Cond {
+	idx := src*n.cl.N() + dst
+	c := n.rdv[idx]
+	if c == nil {
+		c = vtime.NewCond(n.eng)
+		n.rdv[idx] = c
+	}
+	return c
+}
 
 // SetFaults installs a fault plan. It must be called before any
 // process starts communicating; crash events are scheduled on the
@@ -162,6 +265,9 @@ func (n *Network) SetFaults(plan *faults.Plan) error {
 			// wake every waiter so blocked peers can re-examine their
 			// state (and detect the crash).
 			n.counters.BlackHole += len(n.boxes[node])
+			for _, m := range n.boxes[node] {
+				n.putMessage(m)
+			}
 			n.boxes[node] = nil
 			for _, c := range n.conds {
 				c.Broadcast()
@@ -251,7 +357,8 @@ func (n *Network) SendDeadline(p *vtime.Proc, src, dst, tag int, payload []byte,
 		return &CrashError{Nodes: []int{dst}, Waiter: src, At: p.Now()}
 	}
 	m := len(payload)
-	msg := &Message{Src: src, Dst: dst, Tag: tag, Payload: payload, SentAt: p.Now()}
+	msg := n.getMessage()
+	*msg = Message{Src: src, Dst: dst, Tag: tag, Payload: payload, SentAt: p.Now()}
 	n.trace(TraceSendStart, p.Now(), msg, false)
 
 	// 1. Sender CPU processing: serializes consecutive sends and
@@ -279,7 +386,7 @@ func (n *Network) SendDeadline(p *vtime.Proc, src, dst, tag int, payload []byte,
 	// connection and do not collide with themselves — the escalations
 	// are a many-to-one phenomenon (§III).
 	escalated := false
-	if !n.prof.SerializesIngress(m) && n.othersInflight(dst, src) > 0 {
+	if !n.prof.SerializesIngress(m) && n.inflightTot[dst]-n.inflight[dst][src] > 0 {
 		if pr := n.prof.EscalationProb(m); pr > 0 && n.rng.Float64() < pr {
 			seg += n.prof.PickEscalation(n.rng.Float64())
 			n.counters.Escalations++
@@ -313,48 +420,31 @@ func (n *Network) SendDeadline(p *vtime.Proc, src, dst, tag int, payload []byte,
 	arrival := done + lat
 
 	n.inflight[dst][src]++
+	n.inflightTot[dst]++
 	n.counters.Messages++
 	n.counters.Bytes += int64(m)
 	n.trace(TraceInject, now, msg, escalated)
-	rendezvous := n.prof.Rendezvous > 0 && m >= n.prof.Rendezvous
-	var delivered *vtime.Cond
-	arrived := false
-	if rendezvous {
-		delivered = vtime.NewCond(n.eng)
+	d := n.getTransit()
+	d.net, d.msg = n, msg
+	if n.prof.Rendezvous > 0 && m >= n.prof.Rendezvous {
+		d.delivered = n.rendezvousCond(src, dst)
 	}
-	n.eng.At(arrival, func() {
-		n.inflight[dst][src]--
-		if n.dead[dst] {
-			// The destination crashed while the message was on the
-			// wire: black-hole it.
-			n.counters.BlackHole++
-			if rendezvous {
-				arrived = true
-				delivered.Broadcast()
-			}
-			return
-		}
-		msg.ArrivedAt = n.eng.Now()
-		n.boxes[dst] = append(n.boxes[dst], msg)
-		n.conds[dst].Broadcast()
-		n.trace(TraceDeliver, n.eng.Now(), msg, false)
-		if rendezvous {
-			arrived = true
-			delivered.Broadcast()
-		}
-	})
-	if rendezvous {
+	rendezvous := d.delivered
+	n.eng.AtHandler(arrival, d)
+	if rendezvous != nil {
 		// Rendezvous protocol: the send call completes only once the
 		// message has been delivered.
 		if deadline > 0 {
-			n.eng.At(deadline, delivered.Broadcast)
+			n.eng.At(deadline, rendezvous.Broadcast)
 		}
-		for !arrived {
+		for !d.arrived {
 			if deadline > 0 && p.Now() >= deadline {
+				d.abandoned = true // the pending Fire recycles d
 				return &TimeoutError{Op: "send", Rank: src, Peer: dst, Tag: tag, Deadline: deadline}
 			}
-			delivered.Wait(p)
+			rendezvous.Wait(p)
 		}
+		n.putTransit(d)
 		n.checkSelf(p, src)
 		if n.dead[dst] {
 			return &CrashError{Nodes: []int{dst}, Waiter: src, At: p.Now()}
@@ -371,18 +461,6 @@ func (n *Network) scaleCPU(node int, d time.Duration) time.Duration {
 	return d
 }
 
-// othersInflight counts wire transfers heading to dst from senders
-// other than src.
-func (n *Network) othersInflight(dst, src int) int {
-	total := 0
-	for s, c := range n.inflight[dst] {
-		if s != src {
-			total += c
-		}
-	}
-	return total
-}
-
 // match reports whether msg satisfies the (src, tag) selector.
 func match(msg *Message, src, tag int) bool {
 	return (src == AnySource || msg.Src == src) && (tag == AnyTag || msg.Tag == tag)
@@ -393,7 +471,7 @@ func match(msg *Message, src, tag int) bool {
 // and returns the message. src may be AnySource and tag may be AnyTag.
 // Receiving from a crashed peer with nothing left in flight panics
 // with a *CrashError (use RecvDeadline for the error-returning form).
-func (n *Network) Recv(p *vtime.Proc, dst, src, tag int) *Message {
+func (n *Network) Recv(p *vtime.Proc, dst, src, tag int) Message {
 	msg, err := n.RecvDeadline(p, dst, src, tag, 0)
 	if err != nil {
 		panic(err)
@@ -408,28 +486,36 @@ func (n *Network) Recv(p *vtime.Proc, dst, src, tag int) *Message {
 // deadline (zero disables the deadline). Wildcard receives cannot
 // attribute silence to a particular peer, so a crash blocking them is
 // only detected at engine drain.
-func (n *Network) RecvDeadline(p *vtime.Proc, dst, src, tag int, deadline time.Duration) (*Message, error) {
+func (n *Network) RecvDeadline(p *vtime.Proc, dst, src, tag int, deadline time.Duration) (Message, error) {
 	timerArmed := false
 	for {
 		n.checkSelf(p, dst)
 		box := n.boxes[dst]
 		for i, msg := range box {
 			if match(msg, src, tag) {
-				n.boxes[dst] = append(box[:i:i], box[i+1:]...)
-				n.cpus[dst].Use(p, 1, n.scaleCPU(dst, n.ReceiverCost(dst, len(msg.Payload))))
+				// Order-preserving in-place delete: later messages keep
+				// their FIFO positions and the mailbox keeps its backing
+				// array (the old append(box[:i:i], ...) form reallocated
+				// the whole box on every receive).
+				copy(box[i:], box[i+1:])
+				box[len(box)-1] = nil
+				n.boxes[dst] = box[:len(box)-1]
+				out := *msg
+				n.putMessage(msg)
+				n.cpus[dst].Use(p, 1, n.scaleCPU(dst, n.ReceiverCost(dst, len(out.Payload))))
 				n.checkSelf(p, dst)
-				n.trace(TraceRecvDone, p.Now(), msg, false)
-				return msg, nil
+				n.trace(TraceRecvDone, p.Now(), &out, false)
+				return out, nil
 			}
 		}
 		if src != AnySource && n.dead[src] && n.inflight[dst][src] == 0 {
 			// The peer is dead and nothing from it is on the wire: the
 			// awaited message can never arrive.
-			return nil, &CrashError{Nodes: []int{src}, Waiter: dst, At: p.Now()}
+			return Message{}, &CrashError{Nodes: []int{src}, Waiter: dst, At: p.Now()}
 		}
 		if deadline > 0 {
 			if p.Now() >= deadline {
-				return nil, &TimeoutError{Op: "recv", Rank: dst, Peer: src, Tag: tag, Deadline: deadline}
+				return Message{}, &TimeoutError{Op: "recv", Rank: dst, Peer: src, Tag: tag, Deadline: deadline}
 			}
 			if !timerArmed {
 				timerArmed = true

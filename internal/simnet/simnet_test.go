@@ -99,6 +99,45 @@ func TestTagAndSourceMatching(t *testing.T) {
 	})
 }
 
+// TestMailboxFIFOOrder guards the MPI non-overtaking guarantee against
+// mailbox-deletion regressions: two messages with the same (src, tag)
+// must be received in send order even after an unrelated message,
+// delivered between them, has been plucked from the middle of the
+// mailbox. A swap-with-last delete would pass every single-message test
+// and still break this one.
+func TestMailboxFIFOOrder(t *testing.T) {
+	cl := testCluster(3)
+	run(t, cl, cluster.Ideal(), 1, func(net *Network, eng *vtime.Engine) {
+		eng.Go("s0", func(p *vtime.Proc) {
+			net.Send(p, 0, 2, 1, []byte("first"))
+			p.Sleep(2 * time.Millisecond)
+			net.Send(p, 0, 2, 1, []byte("second"))
+		})
+		eng.Go("s1", func(p *vtime.Proc) {
+			p.Sleep(time.Millisecond)
+			net.Send(p, 1, 2, 9, []byte("interloper"))
+		})
+		eng.Go("r", func(p *vtime.Proc) {
+			// Let all three land so the mailbox holds, in delivery
+			// order: first, interloper, second.
+			p.Sleep(10 * time.Millisecond)
+			if got := net.Pending(2); got != 3 {
+				t.Errorf("pending = %d, want 3", got)
+			}
+			// Remove the middle message first, exercising the in-place
+			// delete with live neighbours on both sides.
+			if m := net.Recv(p, 2, 1, 9); string(m.Payload) != "interloper" {
+				t.Errorf("tag-9 receive got %q", m.Payload)
+			}
+			a := net.Recv(p, 2, 0, 1)
+			b := net.Recv(p, 2, 0, 1)
+			if string(a.Payload) != "first" || string(b.Payload) != "second" {
+				t.Errorf("same-(src,tag) messages overtook: got %q then %q", a.Payload, b.Payload)
+			}
+		})
+	})
+}
+
 // Linear scatter through the simulator should exhibit the paper's
 // structure (eq 4): serialized root processing + parallel transfers.
 func TestLinearScatterStructure(t *testing.T) {

@@ -3,9 +3,18 @@
 //
 // An Engine owns a virtual clock and an event queue. Processes are
 // goroutines that cooperate with the engine so that exactly one
-// goroutine (either the engine or a single process) runs at any moment.
-// Events with equal timestamps fire in scheduling order, which makes a
-// simulation fully deterministic for a deterministic program.
+// goroutine (either the Run caller or a single process) runs at any
+// moment. Events with equal timestamps fire in scheduling order, which
+// makes a simulation fully deterministic for a deterministic program.
+//
+// The event loop is allocation-free on its dominant path. Events are
+// a typed union held in a hand-rolled slice-backed min-heap — no
+// container/heap interface boxing, no per-event closure — and the
+// dispatcher role migrates with control: whichever goroutine is active
+// processes events, so a process that sleeps and is the next to wake
+// simply continues, with no goroutine switch and no channel operation.
+// Handing control to a different process costs one switch, not the two
+// (process → engine → process) of a central dispatcher.
 //
 // The package provides the synchronization primitives needed by the
 // network simulator built on top of it: Sleep (advance local time),
@@ -14,7 +23,6 @@
 package vtime
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -24,22 +32,24 @@ import (
 type Engine struct {
 	now    time.Duration
 	seq    uint64
-	events eventHeap
+	events eventQueue
 
-	yield chan struct{} // a process hands control back to the engine
+	mainWake chan struct{} // wakes the Run caller at drain or failure
 
 	liveProcs   int // processes that have been started and not finished
 	blockedSync int // processes parked in a Resource/Cond queue (no pending event)
 
 	running  bool
 	nextID   int
-	panicErr error  // first panic raised by a process body
+	failErr  error // first process panic or step-bound violation
+	cbPanic  any   // panic raised by an event callback, re-raised from Run
+	steps    uint64
 	maxSteps uint64 // safety valve; 0 means unlimited
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{mainWake: make(chan struct{}, 1)}
 }
 
 // SetMaxSteps bounds the number of events the engine will process in
@@ -50,39 +60,119 @@ func (e *Engine) SetMaxSteps(n uint64) { e.maxSteps = n }
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
+// Handler is a prepared event action. Objects implementing it can be
+// scheduled with AtHandler without allocating a closure: the interface
+// pair is stored inline in the typed event union, so a caller that
+// pools its handler objects schedules events allocation-free.
+type Handler interface{ Fire() }
+
+// event is one queue entry: a tagged union of "resume process p" (p
+// non-nil — the dominant case, carrying no closure), "call fn in
+// engine context" (fn non-nil) and "fire prepared handler h".
 type event struct {
 	t   time.Duration
 	seq uint64
+	p   *Proc
 	fn  func()
+	h   Handler
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// before orders events by (time, schedule sequence); the sequence
+// tiebreak makes the order total, so any correct heap pops the exact
+// same event stream — determinism does not depend on heap internals.
+func (a event) before(b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
-func (e *Engine) schedule(t time.Duration, fn func()) {
+
+// eventQueue is a slice-backed binary min-heap of typed events.
+// Hand-rolled instead of container/heap so pushing and popping never
+// box an event into an interface: a push is an append plus sift-up,
+// allocation-free once the backing array has grown.
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.ev[i].before(q.ev[parent]) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{} // drop the fn/proc references
+	q.ev = q.ev[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && q.ev[r].before(q.ev[l]) {
+			c = r
+		}
+		if !q.ev[c].before(q.ev[i]) {
+			break
+		}
+		q.ev[i], q.ev[c] = q.ev[c], q.ev[i]
+		i = c
+	}
+	return top
+}
+
+// scheduleCall enqueues an engine-context callback at absolute time t
+// (clamped to now).
+func (e *Engine) scheduleCall(t time.Duration, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+	e.events.push(event{t: t, seq: e.seq, fn: fn})
+}
+
+// scheduleResume enqueues the resumption of p at absolute time t
+// (clamped to now). This is the allocation-free fast path.
+func (e *Engine) scheduleResume(t time.Duration, p *Proc) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.push(event{t: t, seq: e.seq, p: p})
 }
 
 // At schedules fn to run in engine context at absolute virtual time t
 // (clamped to now). fn must not block.
-func (e *Engine) At(t time.Duration, fn func()) { e.schedule(t, fn) }
+func (e *Engine) At(t time.Duration, fn func()) { e.scheduleCall(t, fn) }
+
+// AtHandler schedules h.Fire() to run in engine context at absolute
+// virtual time t (clamped to now), without allocating a closure. Fire
+// must not block.
+func (e *Engine) AtHandler(t time.Duration, h Handler) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.push(event{t: t, seq: e.seq, h: h})
+}
 
 // After schedules fn to run in engine context d after the current time.
 // fn must not block.
-func (e *Engine) After(d time.Duration, fn func()) { e.schedule(e.now+d, fn) }
+func (e *Engine) After(d time.Duration, fn func()) { e.scheduleCall(e.now+d, fn) }
 
 // Proc is a simulated process. All Proc methods must be called from the
 // goroutine running the process body.
@@ -90,8 +180,14 @@ type Proc struct {
 	e      *Engine
 	id     int
 	name   string
-	resume chan struct{}
+	resume chan struct{} // capacity 1: at most one resume token in flight
 	done   bool
+
+	// Embedded wait-queue nodes, reused across waits: a process blocks
+	// on at most one Resource or Cond at a time, so queueing it never
+	// allocates.
+	resW  resWaiter
+	condW condWaiter
 }
 
 // Name returns the process name given to Go.
@@ -124,45 +220,121 @@ func (p *Proc) Exit() {
 // the current virtual time.
 func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 	e.nextID++
-	p := &Proc{e: e, id: e.nextID, name: name, resume: make(chan struct{})}
+	p := &Proc{e: e, id: e.nextID, name: name, resume: make(chan struct{}, 1)}
 	e.liveProcs++
 	go func() {
-		<-p.resume // wait for the engine to hand us control
+		<-p.resume // wait for a dispatcher to hand us control
 		defer func() {
 			if r := recover(); r != nil {
-				if _, exited := r.(procExit); !exited && e.panicErr == nil {
+				if _, exited := r.(procExit); !exited && e.failErr == nil {
 					// A panic value that is itself an error stays unwrappable
 					// (errors.As), so typed failures — bad collective input, a
 					// crashed peer — survive the trip through the engine.
 					if err, ok := r.(error); ok {
-						e.panicErr = fmt.Errorf("vtime: process %q failed: %w", p.name, err)
+						e.failErr = fmt.Errorf("vtime: process %q failed: %w", p.name, err)
 					} else {
-						e.panicErr = fmt.Errorf("vtime: process %q panicked: %v", p.name, r)
+						e.failErr = fmt.Errorf("vtime: process %q panicked: %v", p.name, r)
 					}
 				}
 			}
 			p.done = true
 			e.liveProcs--
-			e.yield <- struct{}{} // give control back for good
+			e.dispatchFromExit() // pass the dispatcher role on, then die
 		}()
 		body(p)
 	}()
-	e.schedule(e.now, func() { e.transferTo(p) })
+	e.scheduleResume(e.now, p)
 	return p
 }
 
-// transferTo hands control to p and waits until p parks or finishes.
-// Runs in engine context.
-func (e *Engine) transferTo(p *Proc) {
-	p.resume <- struct{}{}
-	<-e.yield
+// broken reports whether the run has failed and dispatching must stop.
+func (e *Engine) broken() bool { return e.failErr != nil || e.cbPanic != nil }
+
+// bumpSteps counts one event against the per-Run step bound; false
+// means the bound was exceeded (failErr set, the event left queued).
+func (e *Engine) bumpSteps() bool {
+	if e.maxSteps == 0 {
+		return true
+	}
+	e.steps++
+	if e.steps > e.maxSteps {
+		if e.failErr == nil {
+			e.failErr = fmt.Errorf("vtime: exceeded %d steps at %v", e.maxSteps, e.now)
+		}
+		return false
+	}
+	return true
 }
 
-// park suspends the calling process until something resumes it.
-func (p *Proc) park() {
-	p.e.yield <- struct{}{}
-	<-p.resume
+// callEvent runs a callback or handler event, capturing a panic so it
+// can be re-raised from Run on the caller's stack (an event may execute
+// on whichever goroutine holds the dispatcher role).
+func (e *Engine) callEvent(ev event) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.cbPanic = r
+		}
+	}()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.h.Fire()
+	}
 }
+
+// dispatchAs runs the event loop on behalf of the engine until self's
+// own resume event pops, the queue drains, or the run breaks. The
+// calling process must either have a resume event queued (Sleep) or be
+// registered with a Resource/Cond that will schedule one (blockSync).
+//
+// This is the kernel's hot path: when the popped event resumes the
+// dispatching process itself, it simply returns — no goroutine switch,
+// no channel operation, no allocation.
+func (e *Engine) dispatchAs(self *Proc) {
+	for {
+		if e.broken() || e.events.len() == 0 || !e.bumpSteps() {
+			// Drained or failed: hand control back to Run, park until a
+			// later Run pops our resume event.
+			e.mainWake <- struct{}{}
+			<-self.resume
+			return
+		}
+		ev := e.events.pop()
+		e.now = ev.t
+		if ev.p != nil {
+			if ev.p == self {
+				return // fast path: the dispatcher resumes itself
+			}
+			ev.p.resume <- struct{}{} // hand the role to the woken process
+			<-self.resume
+			return
+		}
+		e.callEvent(ev)
+	}
+}
+
+// dispatchFromExit passes the dispatcher role on when a process
+// terminates: events run here until control lands on another process
+// or the run ends, then the dead process's goroutine returns.
+func (e *Engine) dispatchFromExit() {
+	for {
+		if e.broken() || e.events.len() == 0 || !e.bumpSteps() {
+			e.mainWake <- struct{}{}
+			return
+		}
+		ev := e.events.pop()
+		e.now = ev.t
+		if ev.p != nil {
+			ev.p.resume <- struct{}{}
+			return
+		}
+		e.callEvent(ev)
+	}
+}
+
+// park suspends the calling process until something resumes it, lending
+// its goroutine to the engine as the event dispatcher meanwhile.
+func (p *Proc) park() { p.e.dispatchAs(p) }
 
 // Sleep advances the process's local time by d, modelling the process
 // being busy (or idle) for that long. Other events proceed meanwhile.
@@ -171,8 +343,8 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	e := p.e
-	e.schedule(e.now+d, func() { e.transferTo(p) })
-	p.park()
+	e.scheduleResume(e.now+d, p)
+	e.dispatchAs(p)
 }
 
 // Yield lets all other events scheduled at the current instant run
@@ -191,7 +363,7 @@ func (p *Proc) blockSync() {
 // from another process.
 func (e *Engine) wakeSync(p *Proc) {
 	e.blockedSync--
-	e.schedule(e.now, func() { e.transferTo(p) })
+	e.scheduleResume(e.now, p)
 }
 
 // DeadlockError is returned by Run when processes remain blocked on
@@ -207,27 +379,39 @@ func (d *DeadlockError) Error() string {
 
 // Run processes events until none remain. It returns a *DeadlockError
 // if processes remain blocked on a Resource or Cond when the event
-// queue drains, or an error if the step bound is exceeded.
+// queue drains, or an error if the step bound is exceeded. After the
+// first handoff to a process, the dispatcher role lives with the
+// processes; Run sleeps until the run drains or breaks.
 func (e *Engine) Run() error {
 	if e.running {
 		return fmt.Errorf("vtime: engine already running")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	var steps uint64
-	for e.events.Len() > 0 {
-		if e.maxSteps > 0 {
-			steps++
-			if steps > e.maxSteps {
-				return fmt.Errorf("vtime: exceeded %d steps at %v", e.maxSteps, e.now)
-			}
+	e.steps = 0
+	for {
+		if e.cbPanic != nil {
+			r := e.cbPanic
+			e.cbPanic = nil
+			panic(r)
 		}
-		ev := heap.Pop(&e.events).(event)
+		if e.failErr != nil {
+			return e.failErr
+		}
+		if e.events.len() == 0 {
+			break
+		}
+		if !e.bumpSteps() {
+			return e.failErr
+		}
+		ev := e.events.pop()
 		e.now = ev.t
-		ev.fn()
-		if e.panicErr != nil {
-			return e.panicErr
+		if ev.p != nil {
+			ev.p.resume <- struct{}{}
+			<-e.mainWake // sleep until the run drains or breaks
+			continue
 		}
+		e.callEvent(ev)
 	}
 	if e.blockedSync > 0 {
 		return &DeadlockError{Blocked: e.blockedSync, Time: e.now}

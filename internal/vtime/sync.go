@@ -51,7 +51,8 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 		r.inUse += n
 		return
 	}
-	w := &resWaiter{p: p, n: n}
+	w := &p.resW // reused node: p blocks on at most one queue at a time
+	w.p, w.n, w.granted = p, n, false
 	r.waiters = append(r.waiters, w)
 	for !w.granted {
 		p.blockSync()
@@ -122,7 +123,8 @@ func NewCond(e *Engine) *Cond { return &Cond{e: e} }
 
 // Wait parks the calling process until a Signal or Broadcast.
 func (c *Cond) Wait(p *Proc) {
-	w := &condWaiter{p: p}
+	w := &p.condW // reused node: p blocks on at most one queue at a time
+	w.p, w.woken = p, false
 	c.waiters = append(c.waiters, w)
 	for !w.woken {
 		p.blockSync()
