@@ -1,0 +1,101 @@
+// Command lmovet runs the repository's determinism and hot-path lint
+// suite (internal/analysis) over the module:
+//
+//	go run ./cmd/lmovet ./...
+//
+// It loads every non-test package, applies the five analyzers
+// according to the policy in internal/analysis/policy.go (walltime,
+// globalrand, maporder, vtimeblock, hotalloc) and prints findings as
+// file:line:col: analyzer: message. Exit status is 0 when the tree is
+// clean, 1 when there are findings, 2 when the module fails to load.
+//
+// Arguments other than package patterns are not needed: the suite
+// always analyzes the whole module ("./..." is accepted for
+// familiarity; narrower patterns filter by import-path prefix).
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmovet:", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmovet:", err)
+		return 2
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmovet:", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range mod.Pkgs {
+		if !selected(mod.Path, pkg.Path, args) {
+			continue
+		}
+		for _, a := range analysis.Scope(pkg.Path) {
+			diags, err := analysis.RunAnalyzer(a, mod.Fset, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lmovet:", err)
+				return 2
+			}
+			for _, d := range diags {
+				pos := mod.Fset.Position(d.Pos)
+				file := pos.Filename
+				if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+				fmt.Printf("%s:%d:%d: %s: %s\n", file, pos.Line, pos.Column, a.Name, d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "lmovet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// selected reports whether the package matches any of the patterns.
+// No patterns (or "./...") selects everything; "./internal/..." style
+// patterns filter by import-path prefix under the module path.
+func selected(modPath, pkgPath string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "all" {
+			return true
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		full := modPath
+		if pat != "" && pat != "." {
+			full = modPath + "/" + pat
+		}
+		if pkgPath == full || (recursive && strings.HasPrefix(pkgPath, full+"/")) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,191 @@
+// Package analysis is the repository's static-analysis layer: a
+// dependency-free reimplementation of the golang.org/x/tools
+// go/analysis contract (the module deliberately has no third-party
+// requirements), plus the five lmovet analyzers that mechanically
+// enforce the simulator's determinism and hot-path invariants.
+//
+// The framework mirrors the upstream API where it matters — an
+// Analyzer owns a Run function over a Pass; a Pass exposes the
+// package's syntax, type information and a Report sink — so the
+// analyzers would port to x/tools unchanged if the dependency ever
+// became available. Packages are loaded by the module-aware loader in
+// load.go (module packages are type-checked from source, the standard
+// library through go/importer's source compiler), so the whole suite
+// runs with nothing but the Go toolchain.
+//
+// Source files opt out of individual checks with directive comments:
+//
+//	//lmovet:allow <analyzer>   suppress findings on this (or the next) line
+//	//lmovet:commutative        assert a map-range body is order-insensitive
+//	//lmovet:hotpath            mark a function allocation-free (hotalloc)
+//
+// A directive written as a trailing comment applies to its own line; a
+// standalone directive comment applies to the line directly below it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer minus the parts this suite
+// does not need (flags, facts, requires-graph).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the Pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic. Findings suppressed by an
+	// //lmovet:allow directive for this analyzer are dropped here, so
+	// analyzers report unconditionally.
+	Report func(Diagnostic)
+
+	directives *directiveIndex
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Commutative reports whether the statement at pos carries an
+// //lmovet:commutative directive (trailing, or on the line above).
+func (p *Pass) Commutative(pos token.Pos) bool {
+	return p.directives.commutative[p.lineOf(pos)]
+}
+
+// Hotpath reports whether decl is annotated //lmovet:hotpath, either
+// in its doc comment or on the line directly above the declaration.
+func (p *Pass) Hotpath(decl *ast.FuncDecl) bool {
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if d, ok := parseDirective(c.Text); ok && d.kind == "hotpath" {
+				return true
+			}
+		}
+	}
+	return p.directives.hotpath[p.lineOf(decl.Pos())]
+}
+
+func (p *Pass) lineOf(pos token.Pos) int {
+	return p.Fset.Position(pos).Line
+}
+
+// allowedAt reports whether the analyzer's findings are suppressed on
+// the line containing pos.
+func (p *Pass) allowedAt(name string, pos token.Pos) bool {
+	return p.directives.allow[p.lineOf(pos)][name]
+}
+
+// directive is one parsed //lmovet:... comment.
+type directive struct {
+	kind string // "allow", "commutative", "hotpath"
+	args []string
+}
+
+// parseDirective extracts an lmovet directive from raw comment text.
+func parseDirective(text string) (directive, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "lmovet:") {
+		return directive{}, false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, "lmovet:"))
+	if len(fields) == 0 {
+		return directive{}, false
+	}
+	return directive{kind: fields[0], args: fields[1:]}, true
+}
+
+// directiveIndex maps source lines to the directives that govern them.
+// A directive on line L governs line L; a standalone directive comment
+// additionally governs line L+1, so it can sit directly above the
+// statement it describes.
+type directiveIndex struct {
+	allow       map[int]map[string]bool
+	commutative map[int]bool
+	hotpath     map[int]bool
+}
+
+func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{
+		allow:       map[int]map[string]bool{},
+		commutative: map[int]bool{},
+		hotpath:     map[int]bool{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, l := range []int{line, line + 1} {
+					switch d.kind {
+					case "allow":
+						m := idx.allow[l]
+						if m == nil {
+							m = map[string]bool{}
+							idx.allow[l] = m
+						}
+						for _, a := range d.args {
+							m[a] = true
+						}
+					case "commutative":
+						idx.commutative[l] = true
+					case "hotpath":
+						idx.hotpath[l] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns
+// its findings sorted by position, with //lmovet:allow suppressions
+// already applied.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.Info,
+		directives: buildDirectiveIndex(fset, pkg.Files),
+	}
+	pass.Report = func(d Diagnostic) {
+		if pass.allowedAt(a.Name, d.Pos) {
+			return
+		}
+		diags = append(diags, d)
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,223 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract on the
+// repository's dependency-free analysis framework.
+//
+// Fixtures live under testdata/src/<pkg> relative to the calling
+// test's directory. A fixture file marks expected diagnostics with
+// trailing comments of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Each diagnostic reported on that line must match one unmatched
+// regexp; unmatched expectations and unexpected diagnostics both fail
+// the test. Fixture packages may import other fixture packages (also
+// under testdata/src) and the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package from testdata/src and applies the
+// analyzer, comparing diagnostics against // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx, func(t *testing.T) {
+			t.Helper()
+			runOne(t, a, fx)
+		})
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &fixtureLoader{
+		fset:   fset,
+		srcDir: filepath.Join("testdata", "src"),
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: map[string]*analysis.Package{},
+	}
+	pkg, err := ld.load(fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := analysis.RunAnalyzer(a, fset, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
+	}
+	checkExpectations(t, fset, pkg.Files, diags)
+}
+
+// fixtureLoader type-checks fixture packages, resolving fixture-local
+// imports recursively and everything else from GOROOT source.
+type fixtureLoader struct {
+	fset   *token.FileSet
+	srcDir string
+	std    types.Importer
+	loaded map[string]*analysis.Package
+}
+
+func (ld *fixtureLoader) load(path string) (*analysis.Package, error) {
+	if p, ok := ld.loaded[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.srcDir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: (*fixtureImporter)(ld)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tp, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	pkg := &analysis.Package{Path: path, Dir: dir, Files: files, Types: tp, Info: info}
+	ld.loaded[path] = pkg
+	return pkg, nil
+}
+
+type fixtureImporter fixtureLoader
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	ld := (*fixtureLoader)(im)
+	if _, err := os.Stat(filepath.Join(ld.srcDir, filepath.FromSlash(path))); err == nil {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// expectation is one // want regexp awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted extracts the consecutive quoted strings of a want
+// comment, accepting both forms the upstream analysistest does:
+// "a" "b" and `a` `b`.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			break
+		}
+		end := 1
+		for end < len(s) {
+			if quote == '"' && s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == quote {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			break
+		}
+		unq, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			break
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand package-level functions that build
+// seeded generators rather than drawing from the shared global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Globalrand forbids the top-level math/rand (and math/rand/v2)
+// functions — rand.Intn, rand.Float64, rand.Shuffle, … — which draw
+// from a process-global, seed-uncontrolled stream. All randomness must
+// flow from a seeded *rand.Rand threaded through configuration, the
+// way simnet and faults already do, so a run's seed fully determines
+// its behavior.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid the global math/rand source; randomness must come from a seeded *rand.Rand",
+	Run:  runGlobalrand,
+}
+
+func runGlobalrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on a seeded *rand.Rand are the approved form
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from the global math/rand source; thread a seeded *rand.Rand from config instead",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

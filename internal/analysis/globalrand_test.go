@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, analysis.Globalrand, "globalrand_bad", "globalrand_ok")
+}

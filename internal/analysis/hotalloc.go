@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotalloc flags allocation-introducing constructs inside functions
+// annotated //lmovet:hotpath — the discrete-event fast path that the
+// PR-3 optimization made allocation-free and that the simbench
+// regression benchmarks guard. It reports:
+//
+//   - calls into package fmt (formatting always allocates);
+//   - function literals that capture enclosing variables (the capture
+//     forces a heap-allocated closure);
+//   - passing a non-pointer-shaped concrete value where the callee
+//     takes an interface (the conversion boxes onto the heap);
+//   - append to a slice declared locally without preallocated
+//     capacity (growth reallocates on the hot path).
+//
+// Allocations that are deliberate (error paths that fire once, cold
+// branches) are waved through with //lmovet:allow hotalloc.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation-introducing constructs in //lmovet:hotpath functions",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.Hotpath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	unprealloc := collectBareSlices(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if capturesVars(pass, fd, v) {
+				pass.Reportf(v.Pos(), "closure captures enclosing variables and allocates; hot path %s must stay allocation-free", fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, v, unprealloc)
+		}
+		return true
+	})
+}
+
+// collectBareSlices finds local slice variables declared with no
+// preallocated capacity: `var s []T`, `s := []T{...}`, `s := []T(nil)`.
+// make with an explicit length or capacity counts as preallocated.
+func collectBareSlices(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(id *ast.Ident) {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := v.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if v.Tok.String() != ":=" || len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch rhs := v.Rhs[i].(type) {
+				case *ast.CompositeLit:
+					mark(id)
+				case *ast.CallExpr:
+					// []T(nil) conversion; make(...) is preallocated.
+					if _, isConv := rhs.Fun.(*ast.ArrayType); isConv {
+						mark(id)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturesVars reports whether lit references a variable declared in
+// the enclosing function outside the literal itself — the condition
+// under which the compiler heap-allocates a closure.
+func capturesVars(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= fd.Pos() && obj.Pos() < fd.End() &&
+			(obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()) {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, unprealloc map[types.Object]bool) {
+	// Package fmt: formatting allocates its result and boxes every
+	// argument.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates; hot path %s must stay allocation-free", fn.Name(), fd.Name.Name)
+			return
+		}
+	}
+
+	// Builtin append to a bare local slice.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				if dst, ok := call.Args[0].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[dst]; obj != nil && unprealloc[obj] {
+						pass.Reportf(call.Pos(), "append to %s grows an un-preallocated slice; size it with make(..., n) up front", dst.Name)
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// Interface boxing at call boundaries.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.IsNil() {
+			continue
+		}
+		if boxesOnHeap(at.Type) {
+			pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes it onto the heap; hot path %s must stay allocation-free", at.Type, fd.Name.Name)
+		}
+	}
+}
+
+// boxesOnHeap reports whether converting a value of type t to an
+// interface requires a heap allocation. Pointer-shaped values
+// (pointers, channels, maps, funcs, unsafe pointers) and interfaces
+// store directly in the interface data word.
+func boxesOnHeap(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() != types.UnsafePointer && b.Kind() != types.UntypedNil
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, analysis.Hotalloc, "hotalloc_bad", "hotalloc_ok")
+}

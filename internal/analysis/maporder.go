@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Maporder flags range statements over maps: Go randomizes map
+// iteration order, so any map range whose body is order-sensitive is a
+// nondeterminism bug — it desynchronizes golden traces, parameter
+// dumps and rendered reports between runs.
+//
+// Two shapes are recognized as order-insensitive and allowed:
+//
+//   - the canonical sorted-iteration prelude, a loop that only
+//     collects keys into a slice (for k := range m { ks = append(ks, k) })
+//     for sorting before the real iteration;
+//   - a map-clearing loop (for k := range m { delete(m, k) }).
+//
+// Anything else needs the keys sorted first, or — when the body is a
+// genuinely commutative sink (independent per-key writes, min/max
+// reductions) — an //lmovet:commutative annotation stating why order
+// cannot leak into results.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive iteration over maps in deterministic code",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Commutative(rng.Pos()) {
+				return true
+			}
+			if isKeyCollection(rng) || isMapClear(rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"iteration over map is order-nondeterministic; sort the keys first or annotate the loop //lmovet:commutative")
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollection matches `for k := range m { ks = append(ks, k) }`:
+// the body's single statement appends the key (and nothing else) to a
+// slice, the standard prelude to sorted iteration.
+func isKeyCollection(rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	arg, ok2 := call.Args[1].(*ast.Ident)
+	return ok && ok2 && dst.Name == lhs.Name && arg.Name == key.Name
+}
+
+// isMapClear matches `for k := range m { delete(m, k) }` where m is a
+// plain identifier.
+func isMapClear(rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	ranged, ok := rng.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	expr, ok := rng.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "delete" {
+		return false
+	}
+	m, ok := call.Args[0].(*ast.Ident)
+	k, ok2 := call.Args[1].(*ast.Ident)
+	return ok && ok2 && m.Name == ranged.Name && k.Name == key.Name
+}

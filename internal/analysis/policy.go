@@ -1,0 +1,69 @@
+package analysis
+
+import "strings"
+
+// Suite is every lmovet analyzer, in report order.
+var Suite = []*Analyzer{Walltime, Globalrand, Maporder, Vtimeblock, Hotalloc}
+
+// deterministicPkgs are the packages that make up the virtual-time
+// universe: everything whose behavior must be a pure function of
+// configuration and seed, because golden traces and parameter dumps
+// are diffed byte-for-byte against them. Wall-clock access and
+// order-sensitive map iteration are forbidden here.
+var deterministicPkgs = map[string]bool{
+	"repro/internal/vtime":      true,
+	"repro/internal/simnet":     true,
+	"repro/internal/mpi":        true,
+	"repro/internal/mpib":       true,
+	"repro/internal/collective": true,
+	"repro/internal/estimate":   true,
+	"repro/internal/faults":     true,
+	"repro/internal/models":     true,
+	"repro/internal/experiment": true,
+}
+
+// wallClockAllowed lists the packages that legitimately touch the host
+// clock: the campaign scheduler times real work, the serve layer
+// reports real latencies, simbench measures the simulator itself, and
+// the cmd binaries talk to humans.
+//
+// The list is maintained for documentation and for Scope's benefit; a
+// package is wall-clock-legitimate exactly when it is not
+// deterministic.
+var wallClockAllowed = []string{
+	"repro/internal/campaign",
+	"repro/internal/serve",
+	"repro/internal/simbench",
+	"repro/cmd/",
+}
+
+// IsDeterministic reports whether the package at the given import path
+// belongs to the deterministic universe.
+func IsDeterministic(path string) bool { return deterministicPkgs[path] }
+
+// Scope returns the analyzers lmovet runs on the package with the
+// given import path:
+//
+//   - walltime: deterministic packages only (see wallClockAllowed for
+//     the exempt list);
+//   - globalrand, maporder: everywhere under internal/ — a seeded RNG
+//     and stable iteration order are output-stability requirements for
+//     the serving and reporting layers too;
+//   - vtimeblock: everywhere except the vtime kernel itself, whose
+//     channel handoff implements the primitive the check protects;
+//   - hotalloc: everywhere (it only fires inside //lmovet:hotpath
+//     functions).
+func Scope(path string) []*Analyzer {
+	var out []*Analyzer
+	if IsDeterministic(path) {
+		out = append(out, Walltime)
+	}
+	if strings.HasPrefix(path, "repro/internal/") {
+		out = append(out, Globalrand, Maporder)
+	}
+	if path != "repro/internal/vtime" {
+		out = append(out, Vtimeblock)
+	}
+	out = append(out, Hotalloc)
+	return out
+}

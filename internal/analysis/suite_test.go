@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestSuiteCleanOnModule is the regression guard that keeps the tree
+// lint-clean: it loads the real module and runs every analyzer with
+// the production scoping policy, expecting zero findings. A
+// time.Now() slipped into simnet, an unsorted map range in estimate,
+// or an allocation on an annotated hot path fails this test (and the
+// CI lint job) immediately.
+func TestSuiteCleanOnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(mod.Pkgs) == 0 {
+		t.Fatal("module loader found no packages")
+	}
+	sawDeterministic := false
+	for _, pkg := range mod.Pkgs {
+		if analysis.IsDeterministic(pkg.Path) {
+			sawDeterministic = true
+		}
+		for _, a := range analysis.Scope(pkg.Path) {
+			diags, err := analysis.RunAnalyzer(a, mod.Fset, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s: %s", mod.Fset.Position(d.Pos), a.Name, d.Message)
+			}
+		}
+	}
+	if !sawDeterministic {
+		t.Error("no deterministic packages were analyzed; policy and loader disagree about import paths")
+	}
+}

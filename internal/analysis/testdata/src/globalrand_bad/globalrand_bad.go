@@ -1,0 +1,17 @@
+// Package globalrand_bad draws from the global math/rand stream in
+// every way the globalrand analyzer must catch.
+package globalrand_bad
+
+import "math/rand"
+
+func noisy(n int) float64 {
+	i := rand.Intn(n)       // want `rand.Intn draws from the global math/rand source`
+	f := rand.Float64()     // want `rand.Float64 draws from the global math/rand source`
+	rand.Shuffle(n, swap)   // want `rand.Shuffle draws from the global math/rand source`
+	rand.Seed(42)           // want `rand.Seed draws from the global math/rand source`
+	p := rand.Perm(n)       // want `rand.Perm draws from the global math/rand source`
+	ok := rand.ExpFloat64() //lmovet:allow globalrand
+	return f + float64(i+len(p)) + ok
+}
+
+func swap(i, j int) {}

@@ -1,0 +1,18 @@
+// Package globalrand_ok threads a seeded *rand.Rand the approved way.
+package globalrand_ok
+
+import "math/rand"
+
+type sim struct{ rng *rand.Rand }
+
+func newSim(seed int64) *sim {
+	return &sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *sim) step(n int) float64 {
+	if s.rng.Intn(n) == 0 {
+		return s.rng.Float64()
+	}
+	z := rand.NewZipf(s.rng, 1.5, 1, 64)
+	return float64(z.Uint64())
+}

@@ -1,0 +1,48 @@
+// Package hotalloc_bad puts every allocation-introducing construct
+// the hotalloc analyzer knows about inside annotated hot functions.
+package hotalloc_bad
+
+import "fmt"
+
+type event struct{ t, seq int }
+
+type sink interface{ accept() }
+
+func consume(v interface{}) {}
+
+//lmovet:hotpath
+func format(n int) string {
+	return fmt.Sprintf("ev-%d", n) // want `fmt.Sprintf allocates`
+}
+
+//lmovet:hotpath
+func closureCapture(base int) func() int {
+	return func() int { return base + 1 } // want `closure captures enclosing variables`
+}
+
+//lmovet:hotpath
+func growLoop(n int) []event {
+	var out []event
+	for i := 0; i < n; i++ {
+		out = append(out, event{t: i}) // want `append to out grows an un-preallocated slice`
+	}
+	return out
+}
+
+//lmovet:hotpath
+func literalGrow(n int) []int {
+	xs := []int{}
+	xs = append(xs, n) // want `append to xs grows an un-preallocated slice`
+	return xs
+}
+
+//lmovet:hotpath
+func boxes(e event) {
+	consume(e) // want `passing hotalloc_bad.event to interface parameter boxes it`
+	consume(7) // want `passing int to interface parameter boxes it`
+}
+
+//lmovet:hotpath
+func escaped(e event) {
+	consume(e) //lmovet:allow hotalloc
+}

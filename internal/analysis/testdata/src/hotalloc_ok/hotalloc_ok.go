@@ -1,0 +1,48 @@
+// Package hotalloc_ok holds allocation-free hot functions and shows
+// that un-annotated functions may allocate freely.
+package hotalloc_ok
+
+import "fmt"
+
+type event struct{ t, seq int }
+
+type queue struct{ ev []event }
+
+func consume(v interface{}) {}
+
+// push appends to a long-lived field: amortized, allowed.
+//
+//lmovet:hotpath
+func (q *queue) push(e event) {
+	q.ev = append(q.ev, e)
+}
+
+// preallocated make(..., 0, n) slices are fine to grow.
+//
+//lmovet:hotpath
+func collect(n int) []event {
+	out := make([]event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, event{t: i})
+	}
+	return out
+}
+
+// pointers store directly in the interface word: no boxing.
+//
+//lmovet:hotpath
+func passPointer(e *event) {
+	consume(e)
+}
+
+// a capture-free literal compiles to a static func value.
+//
+//lmovet:hotpath
+func staticFunc() func() int {
+	return func() int { return 42 }
+}
+
+// coldFormat is not annotated, so formatting is nobody's business.
+func coldFormat(n int) string {
+	return fmt.Sprintf("cold-%d", n)
+}

@@ -1,0 +1,35 @@
+// Package maporder_bad iterates maps in ways whose results depend on
+// Go's randomized iteration order.
+package maporder_bad
+
+type Summary struct{ Total float64 }
+
+func render(m map[string]float64) []string {
+	var out []string
+	for k, v := range m { // want `iteration over map is order-nondeterministic`
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// firstError is order-sensitive: which key's error surfaces depends on
+// iteration order.
+func firstError(m map[string]error) error {
+	for _, err := range m { // want `iteration over map is order-nondeterministic`
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// keyOnly still iterates in random order even without the value.
+func keyOnly(m map[int]int) int {
+	last := 0
+	for k := range m { // want `iteration over map is order-nondeterministic`
+		last = k
+	}
+	return last
+}

@@ -1,0 +1,49 @@
+// Package maporder_ok shows the approved ways to consume a map: the
+// sorted-keys prelude, a clearing loop, and annotated commutative
+// sinks.
+package maporder_ok
+
+import "sort"
+
+// sortedRender uses the canonical prelude: collect keys, sort, then
+// range over the slice.
+func sortedRender(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if m[k] > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// clear empties the map; deletion order is irrelevant.
+func clear(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// sum is a commutative reduction, annotated above the loop.
+func sum(m map[string]int) int {
+	total := 0
+	//lmovet:commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// copyMap carries the annotation as a trailing comment.
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { //lmovet:commutative
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+// Package walltime_bad exercises every wall-clock access the walltime
+// analyzer must flag, plus the escape hatch.
+package walltime_bad
+
+import "time"
+
+func clocky() time.Duration {
+	t := time.Now()                  // want `time.Now reads the wall clock`
+	elapsed := time.Since(t)         // want `time.Since reads the wall clock`
+	time.Sleep(time.Millisecond)     // want `time.Sleep reads the wall clock`
+	<-time.After(time.Millisecond)   // want `time.After reads the wall clock`
+	_ = time.NewTimer(time.Second)   // want `time.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Second)  // want `time.NewTicker reads the wall clock`
+	_ = time.Until(t)                // want `time.Until reads the wall clock`
+	allowed := time.Now().UnixNano() //lmovet:allow walltime
+	_ = allowed
+	return elapsed
+}
+
+// pureDuration uses only virtual-time-safe parts of package time.
+func pureDuration(d time.Duration) time.Duration {
+	return d*2 + 5*time.Microsecond
+}

@@ -1,0 +1,15 @@
+// Package walltime_ok is a clean fixture: heavy use of time.Duration
+// arithmetic and formatting, no wall-clock access.
+package walltime_ok
+
+import "time"
+
+type clock struct{ now time.Duration }
+
+func (c *clock) advance(d time.Duration) { c.now += d }
+
+func (c *clock) render() string { return c.now.String() }
+
+func budget(d time.Duration) bool {
+	return d.Seconds() < 3 && d > 100*time.Nanosecond
+}

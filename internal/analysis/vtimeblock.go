@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Vtimeblock flags real (host-level) blocking primitives inside code
+// that runs in virtual-time process context. A vtime.Proc body that
+// parks on a real sync.Mutex, waits on a sync.WaitGroup, sends or
+// receives on an unbuffered channel, or calls time.Sleep blocks the
+// one goroutine that carries the dispatcher role — the virtual clock
+// stops and the simulation deadlocks (or, worse, times depend on the
+// host scheduler).
+//
+// Context is seeded from spawn and scheduling call sites —
+// Engine.Go(name, body), Engine.At(t, fn), Engine.After(d, fn) on a
+// vtime engine — and propagated one level through same-package static
+// calls from those bodies. The vtime kernel itself is excluded by the
+// driver: its channel handoff is the mechanism the invariant protects.
+var Vtimeblock = &Analyzer{
+	Name: "vtimeblock",
+	Doc:  "flag real blocking primitives reachable from vtime process context",
+	Run:  runVtimeblock,
+}
+
+// vtimeSeedMethods are the vtime.Engine methods whose function argument
+// executes inside the virtual-time universe.
+var vtimeSeedMethods = map[string]int{ // method name -> func-arg index
+	"Go":    1,
+	"At":    1,
+	"After": 1,
+}
+
+// blockingSyncMethods are methods of package sync that park the calling
+// goroutine.
+var blockingSyncMethods = map[string]map[string]bool{
+	"Mutex":     {"Lock": true},
+	"RWMutex":   {"Lock": true, "RLock": true},
+	"WaitGroup": {"Wait": true},
+	"Cond":      {"Wait": true},
+	"Once":      {"Do": true},
+}
+
+func runVtimeblock(pass *Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	// Seed pass: bodies handed to Engine.Go / Engine.At / Engine.After.
+	contexts := map[ast.Node]bool{}
+	var addContext func(arg ast.Expr)
+	addContext = func(arg ast.Expr) {
+		switch a := arg.(type) {
+		case *ast.FuncLit:
+			contexts[a] = true
+		case *ast.Ident:
+			if fn, ok := pass.TypesInfo.Uses[a].(*types.Func); ok {
+				if fd := decls[fn]; fd != nil && fd.Body != nil {
+					contexts[fd] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			addContext(a.Sel)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isVtimePkg(fn.Pkg().Path()) {
+				return true
+			}
+			argIdx, ok := vtimeSeedMethods[fn.Name()]
+			if !ok || argIdx >= len(call.Args) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+				return true
+			}
+			addContext(call.Args[argIdx])
+			return true
+		})
+	}
+
+	// One level of intra-package propagation: functions statically
+	// called from a seeded body also run in proc context. Set union;
+	// visiting order cannot change the resulting context set.
+	//lmovet:commutative
+	for body := range copyNodeSet(contexts) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee *types.Func
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				callee, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+			case *ast.SelectorExpr:
+				callee, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+			}
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if fd := decls[callee]; fd != nil && fd.Body != nil {
+				contexts[fd] = true
+			}
+			return true
+		})
+	}
+
+	// Check bodies in source order so report order never depends on
+	// map iteration (RunAnalyzer sorts too; this keeps the walk itself
+	// deterministic).
+	ordered := make([]ast.Node, 0, len(contexts))
+	//lmovet:commutative
+	for body := range contexts {
+		ordered = append(ordered, body)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Pos() < ordered[j].Pos() })
+	for _, body := range ordered {
+		checkVtimeContext(pass, body)
+	}
+	return nil
+}
+
+func copyNodeSet(m map[ast.Node]bool) map[ast.Node]bool {
+	out := make(map[ast.Node]bool, len(m))
+	// Plain set copy, order-free.
+	//lmovet:commutative
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// isVtimePkg matches the simulator kernel package both in the real
+// module (repro/internal/vtime) and in test fixtures (vtime).
+func isVtimePkg(path string) bool {
+	return path == "vtime" || strings.HasSuffix(path, "/vtime")
+}
+
+// checkVtimeContext walks one proc-context body and reports real
+// blocking constructs.
+func checkVtimeContext(pass *Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(v.Pos(), "real channel send in vtime proc context blocks the virtual clock; use vtime.Cond/Resource")
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				pass.Reportf(v.Pos(), "real channel receive in vtime proc context blocks the virtual clock; use vtime.Cond/Resource")
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(v.Pos(), "select over real channels in vtime proc context blocks the virtual clock")
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[v.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					pass.Reportf(v.Pos(), "range over a real channel in vtime proc context blocks the virtual clock")
+				}
+			}
+		case *ast.CallExpr:
+			checkVtimeCall(pass, v)
+		}
+		return true
+	})
+}
+
+func checkVtimeCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if fn.Pkg().Path() == "time" && sig != nil && sig.Recv() == nil && fn.Name() == "Sleep" {
+		pass.Reportf(call.Pos(), "time.Sleep in vtime proc context stalls the host goroutine, not virtual time; use Proc.Sleep")
+		return
+	}
+	if fn.Pkg().Path() != "sync" || sig == nil || sig.Recv() == nil {
+		return
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return
+	}
+	if methods := blockingSyncMethods[named.Obj().Name()]; methods[fn.Name()] {
+		pass.Reportf(call.Pos(),
+			"sync.%s.%s in vtime proc context parks the dispatcher goroutine and deadlocks the virtual clock",
+			named.Obj().Name(), fn.Name())
+	}
+}

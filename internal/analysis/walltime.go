@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package-level functions of package time that
+// read or wait on the wall clock. time.Duration arithmetic and
+// constants are fine — the simulator's virtual clock is a Duration —
+// but touching the host's clock inside the deterministic universe
+// destroys golden-trace reproducibility.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Walltime forbids wall-clock access (time.Now, time.Since, time.Sleep,
+// time.After, timers, tickers) in deterministic packages. Which
+// packages are deterministic is decided by the driver (see policy.go);
+// the analyzer itself flags every use it sees. Suppress a legitimate
+// use with //lmovet:allow walltime.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock access inside the deterministic simulation universe",
+	Run:  runWalltime,
+}
+
+func runWalltime(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on Duration/Time values are pure
+			}
+			if wallClockFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; deterministic packages must use virtual time (vtime.Engine.Now)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, analysis.Walltime, "walltime_bad", "walltime_ok")
+}

@@ -126,6 +126,9 @@ func aggregateMetrics(ok []Result) map[string]stats.Summary {
 		return nil
 	}
 	out := map[string]stats.Summary{}
+	// Keyed map-to-map transform: each metric is summarized
+	// independently, so iteration order cannot affect the result.
+	//lmovet:commutative
 	for name := range ok[0].Metrics {
 		vals := make([]float64, 0, len(ok))
 		for _, r := range ok {

@@ -121,6 +121,8 @@ func runEstimator(g Grid, t Task, r *Result) {
 			return
 		}
 		r.Models = models.NewModelFile(ms.Hom, ms.Het, ms.LogP, ms.LogGP, ms.PLogP, ms.LMO)
+		// Keyed map-to-map transform; per-family entries are independent.
+		//lmovet:commutative
 		for fam, c := range ms.EstCosts {
 			met["cost_s."+fam] = c.Seconds()
 		}

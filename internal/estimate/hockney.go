@@ -63,7 +63,13 @@ func HetHockney(cfg mpi.Config, opt Options) (*models.HetHockney, Report, error)
 	}
 	rep.Cost = res.Duration
 
-	for p, o := range points {
+	// Iterate in AllPairs order, not map order: which pair's fit error
+	// surfaces first must not depend on map iteration.
+	for _, p := range AllPairs(n) {
+		o, measured := points[p]
+		if !measured {
+			continue
+		}
 		fit, err := stats.FitLine(o.xs, o.ys)
 		if err != nil {
 			return nil, rep, fmt.Errorf("estimate: pair %v fit: %w", p, err)

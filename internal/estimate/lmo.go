@@ -85,6 +85,9 @@ func SolveTriplet(tt TripletTimes) TripletSolution {
 	sol.L[pairKey(i, j)] = rt0(i, j)/2 - sol.C[i] - sol.C[j]
 	sol.L[pairKey(j, k)] = rt0(j, k)/2 - sol.C[j] - sol.C[k]
 	sol.L[pairKey(i, k)] = rt0(i, k)/2 - sol.C[i] - sol.C[k]
+	// In-place clamp: each entry is adjusted independently of every
+	// other, so iteration order cannot leak into the solution.
+	//lmovet:commutative
 	for p, v := range sol.L {
 		if v < 0 {
 			sol.L[p] = 0

@@ -155,7 +155,14 @@ func LMOOriginal(cfg mpi.Config, opt Options) (*models.LMO, Report, error) {
 			model.T()[x] = sumT[x] / float64(cntCT[x])
 		}
 	}
-	for p, cnt := range cntPair {
+	// AllPairs order rather than map order: each pair writes its own
+	// Beta cells, but deterministic traversal keeps the loop auditable
+	// without an order-insensitivity proof.
+	for _, p := range AllPairs(n) {
+		cnt, ok := cntPair[p]
+		if !ok {
+			continue
+		}
 		b := float64(cnt) / sumInvB[p]
 		model.Beta()[p.I][p.J], model.Beta()[p.J][p.I] = b, b
 	}

@@ -304,6 +304,9 @@ func (in *Injector) Crashing() []int {
 		return nil
 	}
 	max := 0
+	// Max reduction over the keys is commutative; the ordered output
+	// is produced by the index sweep below.
+	//lmovet:commutative
 	for n := range in.crash {
 		if n > max {
 			max = n

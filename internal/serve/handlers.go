@@ -136,6 +136,9 @@ func predictAll(e *Entry, op, alg string, root, n, m int) map[string]float64 {
 		zoo["lmo"] = e.LMO
 	}
 	out := map[string]float64{}
+	// Keyed map-to-map transform: one prediction per model family,
+	// entries independent; encoding/json renders the result sorted.
+	//lmovet:commutative
 	for name, model := range zoo {
 		var v float64
 		switch {

@@ -134,6 +134,9 @@ func (js *Jobs) List() []Job {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	out := make([]Job, 0, len(js.jobs))
+	// Collection order is irrelevant: the slice is sorted by job
+	// sequence number immediately below.
+	//lmovet:commutative
 	for _, j := range js.jobs {
 		out = append(out, j.snapshot())
 	}
@@ -145,6 +148,8 @@ func (js *Jobs) List() []Job {
 func (js *Jobs) Utilization() (busy, workers int64) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
+	// Sum reduction over running jobs; integer addition commutes.
+	//lmovet:commutative
 	for _, j := range js.jobs {
 		if j.State == JobRunning && j.stats != nil {
 			s := j.stats.Snapshot()

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -47,9 +48,19 @@ func (m *Metrics) Observe(endpoint string, status int, took time.Duration) {
 	}
 }
 
-// MetricsReport is the GET /metrics payload.
+// EndpointReport is one endpoint's stats in the ordered rendering of
+// the metrics payload.
+type EndpointReport struct {
+	Name string `json:"name"`
+	endpointStats
+}
+
+// MetricsReport is the GET /metrics payload. Endpoints carries the
+// per-endpoint stats in sorted name order — the stable rendering;
+// Requests keeps the keyed form for lookups.
 type MetricsReport struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Endpoints     []EndpointReport         `json:"endpoints"`
 	Requests      map[string]endpointStats `json:"requests"`
 	Cache         CacheStats               `json:"cache"`
 	CacheEntries  int                      `json:"cache_entries"`
@@ -67,12 +78,21 @@ func (m *Metrics) Report(reg *Registry, jobs *Jobs) MetricsReport {
 	var rep MetricsReport
 	m.mu.Lock()
 	rep.UptimeSeconds = time.Since(m.start).Seconds()
-	rep.Requests = make(map[string]endpointStats, len(m.endpoints))
-	for name, es := range m.endpoints {
-		cp := *es
+	// Render in sorted name order so the payload is byte-stable across
+	// runs: map iteration order must not leak into output.
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rep.Endpoints = make([]EndpointReport, 0, len(names))
+	rep.Requests = make(map[string]endpointStats, len(names))
+	for _, name := range names {
+		cp := *m.endpoints[name]
 		if cp.Count > 0 {
 			cp.MeanMs = cp.totalMs / float64(cp.Count)
 		}
+		rep.Endpoints = append(rep.Endpoints, EndpointReport{Name: name, endpointStats: cp})
 		rep.Requests[name] = cp
 	}
 	m.mu.Unlock()

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"encoding/json"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestMetricsReportStableOrder guards the /metrics rendering against
+// map-iteration nondeterminism: the per-endpoint stats must come out
+// in sorted name order, byte-identically, on every render.
+func TestMetricsReportStableOrder(t *testing.T) {
+	m := NewMetrics()
+	names := []string{"predict", "healthz", "models", "campaign", "metrics", "estimate"}
+	for _, name := range names {
+		m.Observe(name, 200, 3*time.Millisecond)
+	}
+	m.Observe("predict", 500, time.Millisecond)
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+
+	reg := NewRegistry(4, nil)
+	jobs := NewJobs()
+	render := func() []byte {
+		rep := m.Report(reg, jobs)
+		if len(rep.Endpoints) != len(sorted) {
+			t.Fatalf("Endpoints has %d entries, want %d", len(rep.Endpoints), len(sorted))
+		}
+		for i, ep := range rep.Endpoints {
+			if ep.Name != sorted[i] {
+				t.Fatalf("Endpoints[%d] = %q, want %q (sorted order)", i, ep.Name, sorted[i])
+			}
+			if got := rep.Requests[ep.Name]; got != ep.endpointStats {
+				t.Fatalf("Requests[%q] = %+v disagrees with ordered entry %+v", ep.Name, got, ep.endpointStats)
+			}
+		}
+		b, err := json.Marshal(rep.Endpoints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	first := render()
+	for i := 0; i < 16; i++ {
+		if again := render(); string(again) != string(first) {
+			t.Fatalf("render %d diverged:\nfirst: %s\nagain: %s", i, first, again)
+		}
+	}
+	var errStats endpointStats
+	for _, ep := range m.Report(reg, jobs).Endpoints {
+		if ep.Name == "predict" {
+			errStats = ep.endpointStats
+		}
+	}
+	if errStats.Count != 2 || errStats.Errors != 1 {
+		t.Fatalf("predict stats = %+v, want Count=2 Errors=1", errStats)
+	}
+}

@@ -143,6 +143,8 @@ func (n *Network) Counters() Counters { return n.counters }
 // getMessage takes a Message struct from the freelist, falling back to
 // the heap. Messages cycle sender → mailbox → receiver copy → freelist,
 // so steady-state traffic allocates no message headers.
+//
+//lmovet:hotpath
 func (n *Network) getMessage() *Message {
 	if k := len(n.free); k > 0 {
 		m := n.free[k-1]
@@ -155,6 +157,8 @@ func (n *Network) getMessage() *Message {
 // putMessage recycles a message header once its contents have been
 // copied out (or the message was black-holed). The payload reference is
 // dropped so the freelist does not pin user buffers.
+//
+//lmovet:hotpath
 func (n *Network) putMessage(m *Message) {
 	*m = Message{}
 	n.free = append(n.free, m)
@@ -177,6 +181,8 @@ type inTransit struct {
 // Fire completes the wire phase: it books the arrival, delivers into
 // the destination mailbox (or black-holes the message if the node
 // crashed mid-flight) and wakes any rendezvous sender.
+//
+//lmovet:hotpath
 func (d *inTransit) Fire() {
 	n, msg := d.net, d.msg
 	src, dst := msg.Src, msg.Dst
@@ -206,6 +212,8 @@ func (d *inTransit) Fire() {
 
 // getTransit takes a delivery handler from the freelist, falling back
 // to the heap.
+//
+//lmovet:hotpath
 func (n *Network) getTransit() *inTransit {
 	if k := len(n.freeTransit); k > 0 {
 		d := n.freeTransit[k-1]
@@ -217,6 +225,8 @@ func (n *Network) getTransit() *inTransit {
 
 // putTransit recycles a delivery handler once both the engine event and
 // any rendezvous waiter are done with it.
+//
+//lmovet:hotpath
 func (n *Network) putTransit(d *inTransit) {
 	*d = inTransit{}
 	n.freeTransit = append(n.freeTransit, d)
@@ -269,6 +279,16 @@ func (n *Network) SetFaults(plan *faults.Plan) error {
 				n.putMessage(m)
 			}
 			n.boxes[node] = nil
+			// Broadcast in slice (node-index) order, which is already
+			// deterministic. Order is additionally provably irrelevant:
+			// Cond.Broadcast only moves each parked waiter onto the
+			// engine's event queue via wakeSync, and the queue orders
+			// resumptions by (virtual time, global schedule sequence) —
+			// all of these fire at the same instant, so the woken
+			// processes resume in their original park order regardless
+			// of which cond was broadcast first. Guarded by
+			// TestCrashBroadcastDeterministicWithRendezvousWaiters.
+			//lmovet:commutative
 			for _, c := range n.conds {
 				c.Broadcast()
 			}
@@ -486,6 +506,8 @@ func (n *Network) Recv(p *vtime.Proc, dst, src, tag int) Message {
 // deadline (zero disables the deadline). Wildcard receives cannot
 // attribute silence to a particular peer, so a crash blocking them is
 // only detected at engine drain.
+//
+//lmovet:hotpath
 func (n *Network) RecvDeadline(p *vtime.Proc, dst, src, tag int, deadline time.Duration) (Message, error) {
 	timerArmed := false
 	for {

@@ -66,6 +66,8 @@ func (t *Tuner) Model() models.TreePredictor { return t.model }
 func (t *Tuner) Stats() Stats {
 	s := t.stats
 	s.ByAlg = map[string]int{}
+	// Plain map copy: same keys in, same keys out, order-free.
+	//lmovet:commutative
 	for k, v := range t.stats.ByAlg {
 		s.ByAlg[k] = v
 	}

@@ -97,6 +97,10 @@ type eventQueue struct {
 
 func (q *eventQueue) len() int { return len(q.ev) }
 
+// push appends and sifts up. Allocation-free once the backing array
+// has grown (q.ev is a long-lived field, so append amortizes away).
+//
+//lmovet:hotpath
 func (q *eventQueue) push(e event) {
 	q.ev = append(q.ev, e)
 	i := len(q.ev) - 1
@@ -110,6 +114,9 @@ func (q *eventQueue) push(e event) {
 	}
 }
 
+// pop removes the min event and sifts down, allocation-free.
+//
+//lmovet:hotpath
 func (q *eventQueue) pop() event {
 	top := q.ev[0]
 	n := len(q.ev) - 1
@@ -147,6 +154,8 @@ func (e *Engine) scheduleCall(t time.Duration, fn func()) {
 
 // scheduleResume enqueues the resumption of p at absolute time t
 // (clamped to now). This is the allocation-free fast path.
+//
+//lmovet:hotpath
 func (e *Engine) scheduleResume(t time.Duration, p *Proc) {
 	if t < e.now {
 		t = e.now
@@ -162,6 +171,8 @@ func (e *Engine) At(t time.Duration, fn func()) { e.scheduleCall(t, fn) }
 // AtHandler schedules h.Fire() to run in engine context at absolute
 // virtual time t (clamped to now), without allocating a closure. Fire
 // must not block.
+//
+//lmovet:hotpath
 func (e *Engine) AtHandler(t time.Duration, h Handler) {
 	if t < e.now {
 		t = e.now
@@ -290,6 +301,8 @@ func (e *Engine) callEvent(ev event) {
 // This is the kernel's hot path: when the popped event resumes the
 // dispatching process itself, it simply returns — no goroutine switch,
 // no channel operation, no allocation.
+//
+//lmovet:hotpath
 func (e *Engine) dispatchAs(self *Proc) {
 	for {
 		if e.broken() || e.events.len() == 0 || !e.bumpSteps() {
@@ -316,6 +329,8 @@ func (e *Engine) dispatchAs(self *Proc) {
 // dispatchFromExit passes the dispatcher role on when a process
 // terminates: events run here until control lands on another process
 // or the run ends, then the dead process's goroutine returns.
+//
+//lmovet:hotpath
 func (e *Engine) dispatchFromExit() {
 	for {
 		if e.broken() || e.events.len() == 0 || !e.bumpSteps() {
@@ -338,6 +353,8 @@ func (p *Proc) park() { p.e.dispatchAs(p) }
 
 // Sleep advances the process's local time by d, modelling the process
 // being busy (or idle) for that long. Other events proceed meanwhile.
+//
+//lmovet:hotpath
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
