@@ -4,6 +4,12 @@
 // irregularity region, and prints the recovered parameters next to the
 // simulator's ground truth together with the estimation costs (serial
 // vs parallel schedules).
+//
+// With -trace the LMO estimation (including the irregularity scan) is
+// recorded as a virtual-time span trace and written in Chrome's
+// trace_event format — load it at chrome://tracing or ui.perfetto.dev
+// to see the experiment rounds, per-rank collectives and message
+// lifecycle as swimlanes.
 package main
 
 import (
@@ -12,71 +18,84 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/estimate"
-	"repro/internal/models"
-	"repro/internal/mpi"
+	commperf "repro"
 	"repro/internal/textplot"
 )
 
 func main() {
 	var (
-		mpiName = flag.String("mpi", "lam", "MPI implementation profile: lam, mpich or ideal")
-		seed    = flag.Int64("seed", 1, "TCP randomness seed")
-		nodes   = flag.Int("n", 16, "number of nodes (prefix of the Table I cluster)")
-		serial  = flag.Bool("serial", false, "use the serial experiment schedule")
-		jsonOut = flag.String("json", "", "write the estimated models to this JSON file")
+		mpiName  = flag.String("mpi", "lam", "MPI implementation profile: lam, mpich or ideal")
+		seed     = flag.Int64("seed", 1, "TCP randomness seed")
+		nodes    = flag.Int("n", 16, "number of nodes (prefix of the Table I cluster)")
+		serial   = flag.Bool("serial", false, "use the serial experiment schedule")
+		jsonOut  = flag.String("json", "", "write the estimated models to this JSON file")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event file of the LMO estimation")
 	)
 	flag.Parse()
 
-	full := cluster.Table1()
+	full := commperf.Table1()
 	if *nodes < 3 || *nodes > full.N() {
 		fmt.Fprintf(os.Stderr, "estimate: -n must be in [3, %d]\n", full.N())
 		os.Exit(2)
 	}
 	cl := full.Prefix(*nodes)
-	var prof *cluster.TCPProfile
+	var prof *commperf.TCPProfile
 	switch *mpiName {
 	case "lam":
-		prof = cluster.LAM()
+		prof = commperf.LAM()
 	case "mpich":
-		prof = cluster.MPICH()
+		prof = commperf.MPICH()
 	case "ideal":
-		prof = cluster.Ideal()
+		prof = commperf.Ideal()
 	default:
 		fmt.Fprintf(os.Stderr, "estimate: unknown -mpi %q\n", *mpiName)
 		os.Exit(2)
 	}
-	cfg := mpi.Config{Cluster: cl, Profile: prof, Seed: *seed}
-	opt := estimate.Options{Parallel: !*serial}
+	sys := commperf.NewSystem(cl, prof, *seed)
+	sched := commperf.ScheduleParallel
+	if *serial {
+		sched = commperf.ScheduleSerial
+	}
+	opts := []commperf.EstimateOption{commperf.WithSchedule(sched)}
 
 	fmt.Printf("Estimating communication models on %d nodes (%s, %s schedule)\n\n",
-		*nodes, prof.Name, schedName(opt.Parallel))
+		*nodes, prof.Name, sched)
 
 	// Heterogeneous Hockney.
-	het, repHet, err := estimate.HetHockney(cfg, opt)
+	estHet, err := sys.Estimate(commperf.ModelHetHockney, opts...)
 	check(err)
+	het := estHet.HetHockney
 	hom := het.Averaged()
 	fmt.Printf("Hockney (averaged homogeneous): %v\n", hom)
 	fmt.Printf("  het-Hockney: %d experiments, %d repetitions, cost %v\n\n",
-		repHet.Experiments, repHet.Repetitions, repHet.Cost.Round(time.Millisecond))
+		estHet.Report.Experiments, estHet.Report.Repetitions, estHet.Report.Cost.Round(time.Millisecond))
 
 	// LogP / LogGP.
-	logp, loggp, repLG, err := estimate.LogPLogGP(cfg, opt)
+	estLG, err := sys.Estimate(commperf.ModelLogP, opts...)
 	check(err)
-	fmt.Printf("%v\n%v\n", logp, loggp)
-	fmt.Printf("  cost %v\n\n", repLG.Cost.Round(time.Millisecond))
+	fmt.Printf("%v\n%v\n", estLG.LogP, estLG.LogGP)
+	fmt.Printf("  cost %v\n\n", estLG.Report.Cost.Round(time.Millisecond))
 
 	// PLogP.
-	plogp, repPL, err := estimate.PLogP(cfg, opt)
+	estPL, err := sys.Estimate(commperf.ModelPLogP, opts...)
 	check(err)
-	fmt.Printf("%v\n  g knots: %v\n  cost %v\n\n", plogp, plogp.G, repPL.Cost.Round(time.Millisecond))
+	fmt.Printf("%v\n  g knots: %v\n  cost %v\n\n",
+		estPL.PLogP, estPL.PLogP.G, estPL.Report.Cost.Round(time.Millisecond))
 
-	// LMO.
-	lmo, repLMO, err := estimate.LMOX(cfg, opt)
+	// LMO, with the gather irregularity scan folded in. The observer
+	// (if any) goes here: the LMO estimation is the paper's headline
+	// procedure and the trace shows its phases end to end.
+	lmoOpts := opts
+	var tr *commperf.Trace
+	if *traceOut != "" {
+		tr = commperf.NewTrace()
+		lmoOpts = append(lmoOpts, commperf.WithObserver(tr))
+	}
+	estLMO, err := sys.Estimate(commperf.ModelLMO, lmoOpts...)
 	check(err)
-	fmt.Printf("LMO (extended, 6-parameter): %d experiments, %d repetitions, cost %v\n",
-		repLMO.Experiments, repLMO.Repetitions, repLMO.Cost.Round(time.Millisecond))
+	lmo := estLMO.LMO
+	fmt.Printf("LMO (extended, 6-parameter): %d experiments, %d repetitions, cost %v (incl. irregularity scan)\n",
+		estLMO.Report.Experiments, estLMO.Report.Repetitions, estLMO.Report.Cost.Round(time.Millisecond))
 	rows := [][]string{{"node", "model", "C_i est", "C_i true", "t_i est", "t_i true"}}
 	for i, nd := range cl.Nodes {
 		rows = append(rows, []string{
@@ -90,9 +109,8 @@ func main() {
 	fmt.Printf("link (0,1): L est %.1fµs (true %.1fµs), β est %.3g B/s (true %.3g B/s)\n\n",
 		lmo.L[0][1]*1e6, float64(l01.L.Microseconds()), lmo.Beta[0][1], l01.Beta)
 
-	// Irregularity detection.
-	irr, repIrr, err := estimate.DetectGatherIrregularity(cfg, 0, estimate.DefaultScanSizes(), 20, opt)
-	check(err)
+	// Irregularity detection (attached to the LMO model by Estimate).
+	irr := lmo.Gather
 	if irr.Valid() {
 		fmt.Printf("gather irregularity: M1=%d B (true %d), M2=%d B (true %d)\n",
 			irr.M1, prof.M1, irr.M2, prof.M2)
@@ -100,17 +118,32 @@ func main() {
 	} else {
 		fmt.Println("gather irregularity: none detected")
 	}
-	fmt.Printf("  scan cost %v\n", repIrr.Cost.Round(time.Millisecond))
 
-	total := repHet.Cost + repLG.Cost + repPL.Cost + repLMO.Cost + repIrr.Cost
+	total := estHet.Report.Cost + estLG.Report.Cost + estPL.Report.Cost + estLMO.Report.Cost
 	fmt.Printf("\ntotal estimation cost (virtual time on the cluster): %v\n", total.Round(time.Millisecond))
 
+	if tr != nil {
+		f, err := os.Create(*traceOut)
+		check(err)
+		check(commperf.WriteChromeTrace(f, tr, func(track int) string {
+			if track == commperf.GlobalTrack {
+				return "estimation"
+			}
+			if track >= 0 && track < len(cl.Nodes) {
+				return fmt.Sprintf("%d %s", track, cl.Nodes[track].Name)
+			}
+			return fmt.Sprintf("track %d", track)
+		}))
+		check(f.Close())
+		fmt.Printf("LMO estimation trace written to %s (%d spans; open at chrome://tracing)\n",
+			*traceOut, len(tr.Spans()))
+	}
+
 	if *jsonOut != "" {
-		lmo.Gather = irr
-		mf := models.NewModelFile(hom, het, logp, loggp, plogp, lmo)
-		mf.Meta = &models.Meta{
+		mf := commperf.NewModelFile(hom, het, estLG.LogP, estLG.LogGP, estPL.PLogP, lmo)
+		mf.Meta = &commperf.ModelMeta{
 			Cluster: "table1", Nodes: *nodes, Profile: prof.Name, Seed: *seed,
-			Est:  schedName(opt.Parallel),
+			Est:  sched.String(),
 			Tool: "cmd/estimate",
 		}
 		data, err := mf.Marshal()
@@ -125,13 +158,6 @@ func short(s string) string {
 		return s[:28]
 	}
 	return s
-}
-
-func schedName(parallel bool) string {
-	if parallel {
-		return "parallel"
-	}
-	return "serial"
 }
 
 func check(err error) {

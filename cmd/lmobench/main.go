@@ -15,6 +15,7 @@
 //	lmobench -exp fig5 -mpi mpich      # under the MPICH profile
 //	lmobench -exp fig4 -csv fig4.csv   # export the series
 //	lmobench -exp fig4 -seeds 10       # seed sweep with mean ± CI
+//	lmobench -exp fig4 -seeds 10 -gantt g.json  # campaign Gantt trace
 //	lmobench -list                     # list experiments
 //
 // For profiling the simulation kernel, -cpuprofile and -memprofile
@@ -38,6 +39,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/textplot"
 )
 
@@ -56,6 +58,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "campaign worker count for -seeds sweeps (0: GOMAXPROCS)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		gantt    = flag.String("gantt", "", "with -seeds > 1: write the campaign's task Gantt chart as a Chrome trace_event file")
 	)
 	flag.Parse()
 
@@ -146,8 +149,12 @@ func main() {
 		if *clPath != "" {
 			clusterName = *clPath
 		}
-		runCampaign(cfg, runners, clusterName, *seed, *seeds, *parallel)
+		runCampaign(cfg, runners, clusterName, *seed, *seeds, *parallel, *gantt)
 		return
+	}
+	if *gantt != "" {
+		fmt.Fprintln(os.Stderr, "lmobench: -gantt requires a -seeds sweep (campaign mode)")
+		os.Exit(2)
 	}
 
 	// Experiments are independent simulations; run them concurrently
@@ -204,7 +211,7 @@ func main() {
 // runCampaign sweeps the experiments over nSeeds consecutive seeds
 // through the campaign engine and renders the seed-aggregated view:
 // mean series and mean ± 95% CI of every metric.
-func runCampaign(cfg experiment.Config, runners []experiment.Runner, clusterName string, seed int64, nSeeds, parallel int) {
+func runCampaign(cfg experiment.Config, runners []experiment.Runner, clusterName string, seed int64, nSeeds, parallel int, gantt string) {
 	g := campaign.Grid{
 		Profiles: []*cluster.TCPProfile{cfg.Profile},
 		Clusters: []campaign.ClusterSpec{{Name: clusterName, Cluster: cfg.Cluster}},
@@ -218,11 +225,43 @@ func runCampaign(cfg experiment.Config, runners []experiment.Runner, clusterName
 		g.Targets = append(g.Targets, campaign.Target{Kind: campaign.Experiment, ID: r.ID})
 	}
 
+	var tr *obs.Trace
+	if gantt != "" {
+		tr = obs.NewTrace()
+	}
 	start := time.Now()
-	out, err := campaign.Run(context.Background(), g, campaign.Options{Parallel: parallel})
+	out, err := campaign.Run(context.Background(), g, campaign.Options{Parallel: parallel, Obs: tr})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
 		os.Exit(2)
+	}
+	if tr != nil {
+		f, err := os.Create(gantt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+			os.Exit(2)
+		}
+		// Campaign tracks are task indices, and Results is ordered by
+		// task index; label each lane with its unit of work.
+		names := map[int]string{}
+		for i, res := range out.Results {
+			names[i] = fmt.Sprintf("%s seed=%d", res.Target, res.Seed)
+		}
+		werr := obs.WriteChromeTrace(f, tr, func(track int) string {
+			if n, ok := names[track]; ok {
+				return n
+			}
+			return fmt.Sprintf("task %d", track)
+		})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %v\n", werr)
+			os.Exit(2)
+		}
+		fmt.Printf("campaign Gantt trace written to %s (%d spans; open at chrome://tracing)\n\n",
+			gantt, len(tr.Spans()))
 	}
 	for _, res := range out.Results {
 		if res.Err != "" {

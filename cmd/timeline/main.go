@@ -9,6 +9,8 @@
 //
 //	timeline -op scatter -alg linear -m 32768
 //	timeline -op gather -alg binomial -m 131072 -mpi lam -v
+//	timeline -op scatter -alg binomial -flame          # self-time table
+//	timeline -op scatter -alg binomial -chrome t.json  # chrome://tracing
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/timeline"
 )
 
@@ -32,6 +35,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "TCP randomness seed")
 		width   = flag.Int("w", 100, "timeline width in characters")
 		verbose = flag.Bool("v", false, "also dump the raw event log")
+		flame   = flag.Bool("flame", false, "also print a flame summary (per-span-name count, total and self time)")
+		chrome  = flag.String("chrome", "", "write the span trace in Chrome trace_event format to this file")
 	)
 	flag.Parse()
 
@@ -65,9 +70,13 @@ func main() {
 		fail("unknown -alg %q", *algName)
 	}
 
+	var tr *obs.Trace
+	if *flame || *chrome != "" {
+		tr = obs.NewTrace()
+	}
 	var b timeline.Builder
 	installed := false
-	_, err := mpi.Run(mpi.Config{Cluster: cl, Profile: prof, Seed: *seed}, func(r *mpi.Rank) {
+	_, err := mpi.Run(mpi.Config{Cluster: cl, Profile: prof, Seed: *seed, Obs: tr}, func(r *mpi.Rank) {
 		if !installed {
 			r.Network().SetTracer(b.Collect)
 			installed = true
@@ -105,6 +114,33 @@ func main() {
 		for _, ev := range b.Events() {
 			fmt.Println("  " + ev.String())
 		}
+	}
+
+	if *flame {
+		fmt.Println("\nflame summary (total = inclusive, self = minus children):")
+		fmt.Print(obs.FlameSummary(tr))
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := obs.WriteChromeTrace(f, tr, func(track int) string {
+			if track == obs.GlobalTrack {
+				return "global"
+			}
+			if track >= 0 && track < len(cl.Nodes) {
+				return fmt.Sprintf("%d %s", track, cl.Nodes[track].Name)
+			}
+			return fmt.Sprintf("track %d", track)
+		}); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("\nspan trace written to %s (%d spans; open at chrome://tracing or ui.perfetto.dev)\n",
+			*chrome, len(tr.Spans()))
 	}
 }
 

@@ -36,6 +36,7 @@ package commperf
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/campaign"
 	"repro/internal/cluster"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/mpi"
 	"repro/internal/mpib"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/stats"
 	"repro/internal/tuned"
@@ -91,6 +93,9 @@ type (
 	TreePredictor = models.TreePredictor
 	// ModelFile is the JSON representation of estimated models.
 	ModelFile = models.ModelFile
+	// ModelMeta records the provenance of a model file (cluster,
+	// profile, seed, estimating tool).
+	ModelMeta = models.Meta
 )
 
 // Message passing.
@@ -174,6 +179,58 @@ type (
 	EstimateReport = estimate.Report
 	// Summary is a sample summary with a Student-t confidence interval.
 	Summary = stats.Summary
+)
+
+// Observability. A Trace records virtual-time spans of one simulated
+// universe — message lifecycle phases, collective operations,
+// measurement and estimation phases, fault incidents — without
+// perturbing the simulation: attach one with WithObserver, run, then
+// export. See WriteChromeTrace for the chrome://tracing view and
+// FlameTraceSummary for a terminal flame summary.
+type (
+	// Trace is a deterministic span trace of one simulated universe.
+	Trace = obs.Trace
+	// TraceSpan is one recorded span.
+	TraceSpan = obs.Span
+	// TraceSpanID identifies a span within its trace.
+	TraceSpanID = obs.SpanID
+	// TraceCategory classifies a span (message, collective, measure...).
+	TraceCategory = obs.Category
+	// MetricsRegistry is a typed counter/gauge/histogram registry with
+	// a Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+)
+
+// Observability constructors and exporters.
+var (
+	// NewTrace builds an empty span trace.
+	NewTrace = obs.NewTrace
+	// NewMetricsRegistry builds an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// WriteTraceJSONL exports a trace as one JSON object per line.
+	WriteTraceJSONL = obs.WriteJSONL
+	// ReadTraceJSONL loads a JSONL trace export.
+	ReadTraceJSONL = obs.ReadJSONL
+	// WriteChromeTrace exports a trace in the Chrome trace_event format
+	// (open in chrome://tracing or https://ui.perfetto.dev).
+	WriteChromeTrace = obs.WriteChromeTrace
+	// FlameTraceSummary renders a trace as an aligned self-time table.
+	FlameTraceSummary = obs.FlameSummary
+)
+
+// GlobalTrack is the track index of spans that belong to the whole
+// universe rather than one node (the estimation phase narrative).
+const GlobalTrack = obs.GlobalTrack
+
+// Span categories, for filtering Trace.Spans.
+const (
+	TraceKernel     = obs.CatKernel
+	TraceMessage    = obs.CatMessage
+	TraceCollective = obs.CatCollective
+	TraceMeasure    = obs.CatMeasure
+	TraceEstimate   = obs.CatEstimate
+	TraceTask       = obs.CatTask
+	TraceFault      = obs.CatFault
 )
 
 // Experiments.
@@ -336,77 +393,127 @@ func (s *System) WithFaults(p *FaultPlan) *System {
 func (s *System) Faults() *FaultPlan { return s.cfg.Faults }
 
 // Run executes an SPMD body on every rank of the simulated cluster.
-func (s *System) Run(body func(r *Rank)) (JobResult, error) {
-	return mpi.Run(s.cfg, body)
+// Pass WithObserver to record a span trace of the run.
+func (s *System) Run(body func(r *Rank), opts ...RunOption) (JobResult, error) {
+	cfg := s.cfg
+	var rc runConfig
+	for _, o := range opts {
+		o.applyRun(&rc)
+	}
+	if rc.obs != nil {
+		cfg.Obs = rc.obs
+	}
+	return mpi.Run(cfg, body)
 }
 
 // Measure runs op collectively with the adaptive repetition loop and
-// root-side timing on the designated rank; see mpib.Measure. It must be
-// called from inside a Run body.
-func Measure(r *Rank, designated int, opts MeasureOptions, op func()) Measurement {
-	return mpib.Measure(r, designated, mpib.RootTiming, opts, op)
+// root-side timing on the designated rank; see mpib.Measure. It must
+// be called from inside a Run body. The defaults are the paper's
+// (95% confidence, 2.5% relative error); adjust with WithReps,
+// WithConfidence or WithMeasureOptions.
+func Measure(r *Rank, designated int, op func(), opts ...MeasureOption) Measurement {
+	var cfg measureConfig
+	for _, o := range opts {
+		o.applyMeasure(&cfg)
+	}
+	return mpib.Measure(r, designated, mpib.RootTiming, cfg.opt, op)
 }
 
 // MeasureMakespan is Measure with max timing (global makespan).
-func MeasureMakespan(r *Rank, opts MeasureOptions, op func()) Measurement {
-	return mpib.Measure(r, 0, mpib.MaxTiming, opts, op)
+func MeasureMakespan(r *Rank, op func(), opts ...MeasureOption) Measurement {
+	var cfg measureConfig
+	for _, o := range opts {
+		o.applyMeasure(&cfg)
+	}
+	return mpib.Measure(r, 0, mpib.MaxTiming, cfg.opt, op)
 }
 
 // EstimateLMO estimates the extended LMO model (round-trips plus
 // one-to-two triplet experiments, eqs 6–12) with a parallel schedule,
 // and attaches the detected gather irregularity.
+//
+// Deprecated: use Estimate(ModelLMO, ...) with functional options.
 func (s *System) EstimateLMO(opts ...EstimateOptions) (*LMO, EstimateReport, error) {
-	opt := pickOpt(opts)
-	m, rep, err := estimate.LMOX(s.cfg, opt)
+	opt, err := pickOpt(opts)
 	if err != nil {
-		return nil, rep, err
+		return nil, EstimateReport{}, err
 	}
-	irr, irrRep, err := estimate.DetectGatherIrregularity(
-		s.cfg, 0, estimate.DefaultScanSizes(), 20, opt)
-	if err != nil {
-		return nil, rep, err
-	}
-	m.Gather = irr
-	rep.Cost += irrRep.Cost
-	rep.Experiments += irrRep.Experiments
-	rep.Repetitions += irrRep.Repetitions
-	return m, rep, nil
+	est, err := s.Estimate(ModelLMO, WithEstimateOptions(opt))
+	return est.LMO, est.Report, err
 }
 
 // EstimateLMOOriginal estimates the original five-parameter LMO model
 // (the ablation baseline whose constants conflate the network latency).
+//
+// Deprecated: use Estimate(ModelLMOOriginal, ...) with functional options.
 func (s *System) EstimateLMOOriginal(opts ...EstimateOptions) (*LMOOriginal, EstimateReport, error) {
-	return estimate.LMOOriginal(s.cfg, pickOpt(opts))
+	opt, err := pickOpt(opts)
+	if err != nil {
+		return nil, EstimateReport{}, err
+	}
+	est, err := s.Estimate(ModelLMOOriginal, WithEstimateOptions(opt))
+	return est.LMOOriginal, est.Report, err
 }
 
 // EstimateHetHockney estimates the heterogeneous Hockney model.
+//
+// Deprecated: use Estimate(ModelHetHockney, ...) with functional options.
 func (s *System) EstimateHetHockney(opts ...EstimateOptions) (*HetHockney, EstimateReport, error) {
-	return estimate.HetHockney(s.cfg, pickOpt(opts))
+	opt, err := pickOpt(opts)
+	if err != nil {
+		return nil, EstimateReport{}, err
+	}
+	est, err := s.Estimate(ModelHetHockney, WithEstimateOptions(opt))
+	return est.HetHockney, est.Report, err
 }
 
 // EstimateHockney estimates the homogeneous Hockney model by the
 // series method.
+//
+// Deprecated: use Estimate(ModelHockney, ...) with functional options.
 func (s *System) EstimateHockney(opts ...EstimateOptions) (*Hockney, EstimateReport, error) {
-	h, rep, err := estimate.HomHockney(s.cfg, pickOpt(opts), nil)
-	return h, rep, err
+	opt, err := pickOpt(opts)
+	if err != nil {
+		return nil, EstimateReport{}, err
+	}
+	est, err := s.Estimate(ModelHockney, WithEstimateOptions(opt))
+	return est.Hockney, est.Report, err
 }
 
 // EstimateLogPLogGP estimates the LogP and LogGP models.
+//
+// Deprecated: use Estimate(ModelLogP, ...) with functional options.
 func (s *System) EstimateLogPLogGP(opts ...EstimateOptions) (*LogP, *LogGP, EstimateReport, error) {
-	return estimate.LogPLogGP(s.cfg, pickOpt(opts))
+	opt, err := pickOpt(opts)
+	if err != nil {
+		return nil, nil, EstimateReport{}, err
+	}
+	est, err := s.Estimate(ModelLogP, WithEstimateOptions(opt))
+	return est.LogP, est.LogGP, est.Report, err
 }
 
 // EstimatePLogP estimates the parameterized LogP model with adaptive
 // message sizes.
+//
+// Deprecated: use Estimate(ModelPLogP, ...) with functional options.
 func (s *System) EstimatePLogP(opts ...EstimateOptions) (*PLogP, EstimateReport, error) {
-	return estimate.PLogP(s.cfg, pickOpt(opts))
+	opt, err := pickOpt(opts)
+	if err != nil {
+		return nil, EstimateReport{}, err
+	}
+	est, err := s.Estimate(ModelPLogP, WithEstimateOptions(opt))
+	return est.PLogP, est.Report, err
 }
 
 // DetectGatherIrregularity scans linear gather for the empirical
 // region (M1, M2) and escalation statistics.
 func (s *System) DetectGatherIrregularity(root int, opts ...EstimateOptions) (GatherEmpirical, EstimateReport, error) {
+	opt, err := pickOpt(opts)
+	if err != nil {
+		return GatherEmpirical{}, EstimateReport{}, err
+	}
 	return estimate.DetectGatherIrregularity(
-		s.cfg, root, estimate.DefaultScanSizes(), 20, pickOpt(opts))
+		s.cfg, root, estimate.DefaultScanSizes(), 20, opt)
 }
 
 // Experiment runs one of the paper's figure/table reproductions on
@@ -424,11 +531,20 @@ func (s *System) Experiment(id string) (*ExperimentReport, error) {
 	return r.Run(cfg)
 }
 
-func pickOpt(opts []EstimateOptions) EstimateOptions {
-	if len(opts) > 0 {
-		return opts[0]
+// pickOpt resolves the legacy variadic EstimateOptions convention:
+// none means the defaults (parallel schedule), exactly one is used as
+// given, and more than one is an error — silently ignoring the extras,
+// as earlier versions did, hid real configuration mistakes.
+func pickOpt(opts []EstimateOptions) (EstimateOptions, error) {
+	switch len(opts) {
+	case 0:
+		return EstimateOptions{Parallel: true}, nil
+	case 1:
+		return opts[0], nil
+	default:
+		return EstimateOptions{}, fmt.Errorf(
+			"commperf: %d EstimateOptions given; pass at most one (merge the structs, or use Estimate with functional options)", len(opts))
 	}
-	return EstimateOptions{Parallel: true}
 }
 
 type errUnknownExperiment string

@@ -19,13 +19,13 @@ func TestSystemRunAndMeasure(t *testing.T) {
 	sys := testSystem()
 	var m Measurement
 	res, err := sys.Run(func(r *Rank) {
-		got := MeasureMakespan(r, MeasureOptions{MinReps: 3, MaxReps: 3}, func() {
+		got := MeasureMakespan(r, func() {
 			blocks := make([][]byte, r.Size())
 			for i := range blocks {
 				blocks[i] = make([]byte, 1024)
 			}
 			r.Scatter(Linear, 0, blocks)
-		})
+		}, WithReps(3, 3))
 		if r.Rank() == 0 {
 			m = got
 		}
@@ -54,13 +54,13 @@ func TestSystemEstimateAndPredict(t *testing.T) {
 	const m = 16 << 10
 	var observed float64
 	_, err = sys.Run(func(r *Rank) {
-		got := MeasureMakespan(r, MeasureOptions{MinReps: 5, MaxReps: 5}, func() {
+		got := MeasureMakespan(r, func() {
 			blocks := make([][]byte, r.Size())
 			for i := range blocks {
 				blocks[i] = make([]byte, m)
 			}
 			r.Scatter(Linear, 0, blocks)
-		})
+		}, WithReps(5, 5))
 		observed = got.Mean
 	})
 	if err != nil {

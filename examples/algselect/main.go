@@ -64,13 +64,13 @@ func observeScatter(sys *commperf.System, alg commperf.Alg, m int) float64 {
 	n := sys.Cluster().N()
 	var mean float64
 	_, err := sys.Run(func(r *commperf.Rank) {
-		meas := commperf.MeasureMakespan(r, commperf.MeasureOptions{MinReps: 8, MaxReps: 8}, func() {
+		meas := commperf.MeasureMakespan(r, func() {
 			blocks := make([][]byte, n)
 			for i := range blocks {
 				blocks[i] = make([]byte, m)
 			}
 			r.Scatter(alg, 0, blocks)
-		})
+		}, commperf.WithReps(8, 8))
 		mean = meas.Mean
 	})
 	if err != nil {

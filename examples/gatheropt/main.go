@@ -46,13 +46,13 @@ func runGather(sys *commperf.System, m int, irr *commperf.GatherEmpirical) float
 	var mean float64
 	_, err := sys.Run(func(r *commperf.Rank) {
 		block := make([]byte, m)
-		meas := commperf.MeasureMakespan(r, commperf.MeasureOptions{MinReps: 20, MaxReps: 20}, func() {
+		meas := commperf.MeasureMakespan(r, func() {
 			if irr != nil {
 				commperf.OptimizedGather(r, 0, block, *irr)
 			} else {
 				r.Gather(commperf.Linear, 0, block)
 			}
-		})
+		}, commperf.WithReps(20, 20))
 		mean = meas.Mean
 	})
 	if err != nil {

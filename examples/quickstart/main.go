@@ -21,10 +21,11 @@ func main() {
 
 	// 1. Estimate the extended LMO model: round-trips + one-to-two
 	// triplet experiments, scheduled in parallel on the switch.
-	lmo, rep, err := sys.EstimateLMO()
+	est, err := sys.Estimate(commperf.ModelLMO)
 	if err != nil {
 		log.Fatal(err)
 	}
+	lmo, rep := est.LMO, est.Report
 	fmt.Printf("estimated LMO in %v of cluster time (%d experiments, %d repetitions)\n",
 		rep.Cost.Round(time.Millisecond), rep.Experiments, rep.Repetitions)
 	fmt.Printf("  fastest processor: C=%.1fµs  slowest: C=%.1fµs\n",
@@ -42,13 +43,13 @@ func main() {
 	// 3. Observe it on the (simulated) machine.
 	var observed float64
 	_, err = sys.Run(func(r *commperf.Rank) {
-		meas := commperf.MeasureMakespan(r, commperf.MeasureOptions{MinReps: 10, MaxReps: 10}, func() {
+		meas := commperf.MeasureMakespan(r, func() {
 			blocks := make([][]byte, n)
 			for i := range blocks {
 				blocks[i] = make([]byte, m)
 			}
 			r.Scatter(commperf.Linear, 0, blocks)
-		})
+		}, commperf.WithReps(10, 10))
 		observed = meas.Mean
 	})
 	if err != nil {

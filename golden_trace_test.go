@@ -12,6 +12,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/faults"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -64,7 +65,9 @@ func goldenWorkload(r *mpi.Rank) {
 
 // runGoldenScenario executes the scenario and renders the full
 // observable behaviour — trace, counters, duration — as canonical text.
-func runGoldenScenario(t *testing.T, sc goldenScenario) string {
+// A non-nil tr additionally records the observability span trace; the
+// rendered text must not depend on it (TestTracingDoesNotPerturb).
+func runGoldenScenario(t *testing.T, sc goldenScenario, tr *obs.Trace) string {
 	t.Helper()
 	var events []simnet.TraceEvent
 	installed := false
@@ -73,6 +76,7 @@ func runGoldenScenario(t *testing.T, sc goldenScenario) string {
 		Profile: sc.prof(),
 		Seed:    sc.seed,
 		Faults:  sc.plan,
+		Obs:     tr,
 	}, func(r *mpi.Rank) {
 		if !installed {
 			installed = true
@@ -98,14 +102,15 @@ func runGoldenScenario(t *testing.T, sc goldenScenario) string {
 }
 
 // renderLMO formats every estimated parameter of the extended LMO
-// model at full float64 precision.
-func renderLMO(t *testing.T) string {
+// model at full float64 precision. A non-nil tr records the estimation
+// narrative; the parameters must come out identical either way.
+func renderLMO(t *testing.T, tr *obs.Trace) string {
 	t.Helper()
 	lmo, rep, err := estimate.LMOX(mpi.Config{
 		Cluster: cluster.Table1().Prefix(5),
 		Profile: cluster.LAM(),
 		Seed:    7,
-	}, estimate.Options{Parallel: true})
+	}, estimate.Options{Parallel: true, Obs: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +172,7 @@ func TestGoldenTraces(t *testing.T) {
 	for _, sc := range goldenScenarios() {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
-			checkGolden(t, "golden_trace_"+sc.name+".txt", runGoldenScenario(t, sc))
+			checkGolden(t, "golden_trace_"+sc.name+".txt", runGoldenScenario(t, sc, nil))
 		})
 	}
 }
@@ -175,7 +180,7 @@ func TestGoldenTraces(t *testing.T) {
 // TestGoldenLMOEstimate locks the estimated extended-LMO parameters to
 // the pre-optimization values at full precision.
 func TestGoldenLMOEstimate(t *testing.T) {
-	checkGolden(t, "golden_lmo.txt", renderLMO(t))
+	checkGolden(t, "golden_lmo.txt", renderLMO(t, nil))
 }
 
 // TestDeterministicReruns verifies that a fixed (cluster, profile,
@@ -186,8 +191,8 @@ func TestDeterministicReruns(t *testing.T) {
 	for _, sc := range goldenScenarios() {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
-			a := runGoldenScenario(t, sc)
-			b := runGoldenScenario(t, sc)
+			a := runGoldenScenario(t, sc, nil)
+			b := runGoldenScenario(t, sc, nil)
 			if a != b {
 				t.Errorf("two runs of %s diverge:\n--- first ---\n%s\n--- second ---\n%s",
 					sc.name, clipGolden(a), clipGolden(b))
@@ -195,8 +200,58 @@ func TestDeterministicReruns(t *testing.T) {
 		})
 	}
 	t.Run("lmo-estimate", func(t *testing.T) {
-		if a, b := renderLMO(t), renderLMO(t); a != b {
+		if a, b := renderLMO(t, nil), renderLMO(t, nil); a != b {
 			t.Errorf("two estimations diverge:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+		}
+	})
+}
+
+// TestTracingDoesNotPerturb is the observability layer's determinism
+// gate: enabling the span tracer must not move a single virtual
+// timestamp, counter or estimated parameter. Each scenario runs once
+// untraced and once traced; the canonical text (which never includes
+// the span trace itself) must be byte-identical, and the traced run
+// must actually have recorded spans.
+func TestTracingDoesNotPerturb(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			plain := runGoldenScenario(t, sc, nil)
+			tr := obs.NewTrace()
+			traced := runGoldenScenario(t, sc, tr)
+			if plain != traced {
+				t.Errorf("tracing perturbed %s:\n--- untraced ---\n%s\n--- traced ---\n%s",
+					sc.name, clipGolden(plain), clipGolden(traced))
+			}
+			if len(tr.Spans()) == 0 {
+				t.Fatal("traced run recorded no spans")
+			}
+			if tr.Counter("vtime.events").Value() == 0 {
+				t.Fatal("traced run counted no events")
+			}
+		})
+	}
+	t.Run("lmo-estimate", func(t *testing.T) {
+		plain := renderLMO(t, nil)
+		tr := obs.NewTrace()
+		traced := renderLMO(t, tr)
+		if plain != traced {
+			t.Errorf("tracing perturbed the LMO estimate:\n--- untraced ---\n%s\n--- traced ---\n%s",
+				plain, traced)
+		}
+		var phases, solves int
+		for _, sp := range tr.Spans() {
+			if sp.Cat == obs.CatEstimate {
+				if strings.HasPrefix(sp.Name, "phase:") {
+					phases++
+				}
+				if strings.HasPrefix(sp.Name, "solve:") {
+					solves++
+				}
+			}
+		}
+		if phases < 2 || solves == 0 {
+			t.Fatalf("estimation narrative incomplete: %d phases, %d solves", phases, solves)
 		}
 	})
 }

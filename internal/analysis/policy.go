@@ -20,6 +20,7 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/faults":     true,
 	"repro/internal/models":     true,
 	"repro/internal/experiment": true,
+	"repro/internal/obs":        true,
 }
 
 // wallClockAllowed lists the packages that legitimately touch the host

@@ -25,6 +25,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/experiment"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/textplot"
 )
 
@@ -194,6 +195,11 @@ type Result struct {
 	Panicked bool   `json:"panicked,omitempty"`
 
 	Elapsed time.Duration `json:"-"` // wall clock; nondeterministic
+
+	// Wall-clock offsets from the campaign start, feeding the task
+	// Gantt spans of Options.Obs; nondeterministic, hence unexported
+	// and absent from the JSON form.
+	wallStart, wallEnd time.Duration
 }
 
 // Options control the engine.
@@ -207,6 +213,13 @@ type Options struct {
 	// Stats, when non-nil, receives live progress counters (worker
 	// utilization for a serving layer's metrics endpoint).
 	Stats *Stats
+	// Obs, when non-nil, receives one task span per grid point (track =
+	// task index, wall-clock offsets from campaign start) — a Gantt
+	// chart of the pool. Task spans are emitted after all workers have
+	// finished, so the trace is safe to read once Run returns. Note the
+	// per-task simulation traces are NOT merged here: a Trace belongs to
+	// one universe, and g.Est.Obs is ignored for exactly that reason.
+	Obs *obs.Trace
 }
 
 // Outcome is a completed campaign: per-task results in grid order plus
@@ -243,6 +256,10 @@ func (o *Outcome) Failed() int {
 // context stops the dispatch and marks the remaining tasks as
 // cancelled; Run itself only returns an error for an invalid grid.
 func Run(ctx context.Context, g Grid, o Options) (*Outcome, error) {
+	// A Trace observes exactly one simulated universe and is not safe
+	// for concurrent writers, so an estimation observer must not be
+	// shared across the pool's tasks (see Options.Obs).
+	g.Est.Obs = nil
 	g = g.withDefaults()
 	if err := g.validate(); err != nil {
 		return nil, err
@@ -275,7 +292,7 @@ func Run(ctx context.Context, g Grid, o Options) (*Outcome, error) {
 			defer wg.Done()
 			for t := range queue {
 				st.Busy.Add(1)
-				results[t.Index] = execute(ctx, g, t, o.TaskTimeout)
+				results[t.Index] = execute(ctx, g, t, o.TaskTimeout, start)
 				st.Busy.Add(-1)
 				st.Done.Add(1)
 				if results[t.Index].Err != "" {
@@ -303,6 +320,22 @@ dispatch:
 			results[i] = r
 		}
 	}
+	// Task Gantt spans, emitted single-threaded after the pool drained
+	// so the shared trace sees no concurrent writers. A task that never
+	// ran (wallEnd zero) gets no span.
+	if o.Obs != nil {
+		for i, t := range tasks {
+			r := results[i]
+			if r.wallEnd <= r.wallStart {
+				continue
+			}
+			sp := o.Obs.Emit(obs.CatTask, t.Target.String(), t.Index, r.wallStart, r.wallEnd)
+			o.Obs.Annotate(sp, t.Coord.Cluster, t.Coord.Profile, int(t.Seed))
+			if r.Err != "" {
+				o.Obs.Point(obs.CatFault, "task-error", t.Index, r.wallEnd)
+			}
+		}
+	}
 	out := &Outcome{Results: results, Wall: time.Since(start)}
 	out.Aggregates = aggregate(g, results)
 	return out, nil
@@ -325,7 +358,7 @@ func newResult(t Task) Result {
 // completes in the background and its result is discarded) — the
 // simulator has no preemption points, and a stuck universe must not
 // stall the pool.
-func execute(ctx context.Context, g Grid, t Task, timeout time.Duration) Result {
+func execute(ctx context.Context, g Grid, t Task, timeout time.Duration, epoch time.Time) Result {
 	start := time.Now()
 	done := make(chan Result, 1)
 	// Read the (test-swappable) task hook before spawning: the goroutine
@@ -360,5 +393,7 @@ func execute(ctx context.Context, g Grid, t Task, timeout time.Duration) Result 
 		r.Err = "campaign cancelled: " + ctx.Err().Error()
 	}
 	r.Elapsed = time.Since(start)
+	r.wallStart = start.Sub(epoch)
+	r.wallEnd = r.wallStart + r.Elapsed
 	return r
 }

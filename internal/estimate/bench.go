@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/mpib"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -36,6 +37,11 @@ type Options struct {
 	// large-message leap are absorbed into the fitted line, as the
 	// paper's series method does.
 	HockneySizes []int
+	// Obs, when non-nil, receives the estimation's span trace: the
+	// simulated universe's message/collective spans plus rank-0
+	// estimation-phase spans on the global track and post-run solver
+	// points. Nil disables observation.
+	Obs *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +55,33 @@ func (o Options) withDefaults() Options {
 		o.HockneySizes = []int{0, 32 << 10, 96 << 10, 160 << 10}
 	}
 	return o
+}
+
+// withObs returns cfg with the estimation's observer installed,
+// unless the caller already supplied one on the mpi side.
+func (o Options) withObs(cfg mpi.Config) mpi.Config {
+	if cfg.Obs == nil {
+		cfg.Obs = o.Obs
+	}
+	return cfg
+}
+
+// obsBegin opens a rank-0 estimation-phase span on the global track;
+// on other ranks (or with observation disabled) it returns 0, which
+// obsEnd treats as a no-op. Pinning the phase narrative to rank 0
+// keeps the global track a single sequential story.
+func obsBegin(r *mpi.Rank, name string) obs.SpanID {
+	if r.Rank() != 0 {
+		return 0
+	}
+	return r.Observer().Begin(obs.CatEstimate, name, obs.GlobalTrack, r.Now())
+}
+
+// obsEnd closes a span opened by obsBegin.
+func obsEnd(r *mpi.Rank, id obs.SpanID) {
+	if id != 0 {
+		r.Observer().End(id, r.Now())
+	}
 }
 
 // Report summarizes an estimation procedure's cost (the paper's §IV

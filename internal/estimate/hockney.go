@@ -38,7 +38,7 @@ func HetHockney(cfg mpi.Config, opt Options) (*models.HetHockney, Report, error)
 		points[p] = &obs{}
 	}
 
-	res, err := mpi.Run(cfg, func(r *mpi.Rank) {
+	res, err := mpi.Run(opt.withObs(cfg), func(r *mpi.Rank) {
 		for _, round := range rounds {
 			for _, m := range opt.HockneySizes {
 				exps := make([]Exp, len(round))
@@ -103,7 +103,7 @@ func HomHockney(cfg mpi.Config, opt Options, sizes []int) (*models.Hockney, Repo
 
 	rep := Report{}
 	var xs, ys []float64
-	res, err := mpi.Run(cfg, func(r *mpi.Rank) {
+	res, err := mpi.Run(opt.withObs(cfg), func(r *mpi.Rank) {
 		for pi, p := range pairs {
 			for _, m := range sizes {
 				sum := measureRound(r, opt.Mpib, []Exp{roundtripExp(p.I, p.J, m, m, pi)})

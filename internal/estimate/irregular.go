@@ -32,7 +32,7 @@ func ScanGather(cfg mpi.Config, root int, sizes []int, reps int, opt Options) (G
 	}
 	scan := GatherScan{Sizes: sizes, Samples: make([][]float64, len(sizes))}
 	rep := Report{}
-	res, err := mpi.Run(cfg, func(r *mpi.Rank) {
+	res, err := mpi.Run(opt.withObs(cfg), func(r *mpi.Rank) {
 		for si, m := range sizes {
 			block := make([]byte, m)
 			meas := mpib.Measure(r, root, mpib.RootTiming,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/linsolve"
 	"repro/internal/models"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // TripletTimes holds the measured execution times of the experiments
@@ -219,8 +220,9 @@ func LMOX(cfg mpi.Config, opt Options) (*models.LMOX, Report, error) {
 	// the worst relative error observed.
 	suspect := make(map[[3]int]float64)
 
-	res, err := mpi.Run(cfg, func(r *mpi.Rank) {
+	res, err := mpi.Run(opt.withObs(cfg), func(r *mpi.Rank) {
 		// Phase 1: round-trips with empty and with M-byte messages.
+		p1 := obsBegin(r, "phase:round-trips")
 		for _, round := range pairRounds {
 			exps0 := make([]Exp, len(round))
 			expsM := make([]Exp, len(round))
@@ -248,6 +250,8 @@ func LMOX(cfg mpi.Config, opt Options) (*models.LMOX, Report, error) {
 				rep.Retries += s0[0].Retries + sm[0].Retries
 			}
 		}
+		obsEnd(r, p1)
+		p2 := obsBegin(r, "phase:one-to-two")
 		// Phase 2: one-to-two experiments; each unordered round runs
 		// three initiator rotations, with empty and M-byte messages.
 		// Replies are always empty: the paper's guard against the gather
@@ -303,6 +307,7 @@ func LMOX(cfg mpi.Config, opt Options) (*models.LMOX, Report, error) {
 				}
 			}
 		}
+		obsEnd(r, p2)
 	})
 	if err != nil {
 		return nil, rep, err
@@ -343,6 +348,9 @@ func LMOX(cfg mpi.Config, opt Options) (*models.LMOX, Report, error) {
 			tt.OneToTwoM[x] = ottm[[3]int{x, lo, hi}]
 		}
 		sol := SolveTriplet(tt)
+		// Host-side solve: virtual time is frozen at res.Duration, so the
+		// solver appears as instants at the end of the global track.
+		opt.Obs.Point(obs.CatEstimate, "solve:triplet", obs.GlobalTrack, res.Duration)
 		for _, x := range []int{tr.I, tr.J, tr.K} {
 			lo, hi := minmax2(otherTwo(tr, x))
 			key := [3]int{x, lo, hi}
@@ -391,6 +399,7 @@ func LMOX(cfg mpi.Config, opt Options) (*models.LMOX, Report, error) {
 			model.Beta[p.I][p.J], model.Beta[p.J][p.I] = math.Inf(1), math.Inf(1)
 		}
 	}
+	opt.Obs.Point(obs.CatEstimate, "solve:eq12", obs.GlobalTrack, res.Duration)
 	return model, rep, nil
 }
 

@@ -49,7 +49,7 @@ func LMOOriginal(cfg mpi.Config, opt Options) (*models.LMO, Report, error) {
 		}
 	}
 
-	res, err := mpi.Run(cfg, func(r *mpi.Rank) {
+	res, err := mpi.Run(opt.withObs(cfg), func(r *mpi.Rank) {
 		for _, round := range pairRounds {
 			exps0 := make([]Exp, len(round))
 			expsM := make([]Exp, len(round))

@@ -32,7 +32,7 @@ func LogPLogGP(cfg mpi.Config, opt Options) (*models.LogP, *models.LogGP, Report
 	pairs := samplePairs(n)
 
 	sums := make([]float64, 5) // os0, or0, rtt0, satW, satM
-	res, err := mpi.Run(cfg, func(r *mpi.Rank) {
+	res, err := mpi.Run(opt.withObs(cfg), func(r *mpi.Rank) {
 		tag := 0
 		for _, pr := range pairs {
 			i, j := pr.I, pr.J
@@ -120,7 +120,7 @@ func PLogP(cfg mpi.Config, opt Options) (*models.PLogP, Report, error) {
 	measured := map[int]plogpPoint{}
 	var rtt0 float64
 
-	res, err := mpi.Run(cfg, func(r *mpi.Rank) {
+	res, err := mpi.Run(opt.withObs(cfg), func(r *mpi.Rank) {
 		tag := 0
 		measureSize := func(m int) plogpPoint {
 			satS := measureRound(r, opt.Mpib, []Exp{saturationExp(i, j, m, cnt, tag)})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/collective"
+	"repro/internal/obs"
 )
 
 // Alg selects a collective algorithm.
@@ -57,12 +58,32 @@ func (r *Rank) tree(alg Alg, root int) *collective.Tree {
 	return alg.Tree(r.w.n, root)
 }
 
+// beginColl opens a per-rank collective-phase span named "op:alg" on
+// this rank's track; every message span the network emits for this
+// rank while the collective runs nests underneath it. The name is only
+// assembled when observation is on, so the disabled path stays free.
+func (r *Rank) beginColl(op, alg string) obs.SpanID {
+	if r.w.obs == nil {
+		return 0
+	}
+	return r.w.obs.Begin(obs.CatCollective, op+":"+alg, r.rank, r.p.Now())
+}
+
+// endColl closes a span opened by beginColl at the rank's current
+// virtual time; a zero id (observation disabled) is a no-op.
+func (r *Rank) endColl(id obs.SpanID) {
+	if id != 0 {
+		r.w.obs.End(id, r.p.Now())
+	}
+}
+
 // Scatter distributes blocks from root to every rank using the given
 // algorithm and returns this rank's block. blocks is meaningful only at
 // the root and must hold n equal-size blocks indexed by absolute rank.
 // The root's own block is returned without network cost (the paper
 // treats the root's local copy as negligible).
 func (r *Rank) Scatter(alg Alg, root int, blocks [][]byte) []byte {
+	defer r.endColl(r.beginColl("scatter", alg.String()))
 	tag := r.collTag(opScatter)
 	tree := r.tree(alg, root)
 	n := r.w.n
@@ -117,6 +138,7 @@ func concatRel(blocks [][]byte, tree *collective.Tree, c int) []byte {
 // given algorithm. At the root it returns n blocks indexed by absolute
 // rank; elsewhere it returns nil.
 func (r *Rank) Gather(alg Alg, root int, block []byte) [][]byte {
+	defer r.endColl(r.beginColl("gather", alg.String()))
 	tag := r.collTag(opGather)
 	tree := r.tree(alg, root)
 	n := r.w.n
@@ -154,6 +176,7 @@ func (r *Rank) Gather(alg Alg, root int, block []byte) [][]byte {
 // Bcast sends data from root to every rank over a binomial tree and
 // returns the data on every rank. data is meaningful only at the root.
 func (r *Rank) Bcast(root int, data []byte) []byte {
+	defer r.endColl(r.beginColl("bcast", "binomial"))
 	tag := r.collTag(opBcast)
 	tree := collective.Binomial(r.w.n, root)
 	if r.w.n == 1 {
@@ -172,6 +195,7 @@ func (r *Rank) Bcast(root int, data []byte) []byte {
 // using op (which must be associative and commutative) and returns the
 // combined block at the root, nil elsewhere.
 func (r *Rank) Reduce(root int, block []byte, op func(a, b []byte) []byte) []byte {
+	defer r.endColl(r.beginColl("reduce", "binomial"))
 	tag := r.collTag(opReduce)
 	tree := collective.Binomial(r.w.n, root)
 	if r.w.n == 1 {
@@ -192,6 +216,7 @@ func (r *Rank) Reduce(root int, block []byte, op func(a, b []byte) []byte) []byt
 // Barrier synchronizes all ranks with the dissemination algorithm; it
 // has real network cost, unlike HardSync.
 func (r *Rank) Barrier() {
+	defer r.endColl(r.beginColl("barrier", "dissemination"))
 	tag := r.collTag(opBarrier)
 	n := r.w.n
 	if n == 1 {
@@ -208,6 +233,7 @@ func (r *Rank) Barrier() {
 // Allgather distributes every rank's block to every rank with the ring
 // algorithm and returns n blocks indexed by absolute rank.
 func (r *Rank) Allgather(block []byte) [][]byte {
+	defer r.endColl(r.beginColl("allgather", "ring"))
 	tag := r.collTag(opAllgather)
 	n := r.w.n
 	out := make([][]byte, n)
@@ -231,6 +257,7 @@ func (r *Rank) Allgather(block []byte) [][]byte {
 // send[i] goes to rank i, and the result's entry j holds rank j's block
 // for this rank. send[rank] is copied locally.
 func (r *Rank) Alltoall(send [][]byte) [][]byte {
+	defer r.endColl(r.beginColl("alltoall", "linear"))
 	tag := r.collTag(opAlltoall)
 	n := r.w.n
 	if len(send) != n {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/vtime"
 )
@@ -37,6 +38,7 @@ type Config struct {
 	Profile *cluster.TCPProfile // TCP irregularity profile (nil = ideal)
 	Seed    int64               // randomness for the TCP layer
 	Faults  *faults.Plan        // fault injection plan (nil = fault-free)
+	Obs     *obs.Trace          // span/metric observer (nil = disabled)
 }
 
 // Result reports what a completed job did.
@@ -57,6 +59,8 @@ type World struct {
 	cells   map[int]*SharedCell // harness-level shared cells by call sequence
 	cellSeq []int               // per-rank SharedCell call counters
 	commSeq map[string][]int    // per-member-set, per-rank collective sequences for Comm
+
+	obs *obs.Trace // span observer shared by all ranks (nil = disabled)
 }
 
 // Rank is the handle each SPMD process receives. All methods must be
@@ -88,9 +92,13 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 	if err := net.SetFaults(cfg.Faults); err != nil {
 		return Result{}, err
 	}
+	if cfg.Obs != nil {
+		eng.SetObserver(cfg.Obs)
+		net.SetObserver(cfg.Obs)
+	}
 	n := cfg.Cluster.N()
 	w := &World{
-		net: net, eng: eng, n: n,
+		net: net, eng: eng, n: n, obs: cfg.Obs,
 		sync:    vtime.NewBarrier(eng, n),
 		seq:     make([]int, n),
 		cells:   make(map[int]*SharedCell),
@@ -134,6 +142,12 @@ func (r *Rank) Proc() *vtime.Proc { return r.p }
 
 // Network exposes the underlying simulated network.
 func (r *Rank) Network() *simnet.Network { return r.w.net }
+
+// Observer returns the span trace installed for this job via
+// Config.Obs, or nil when observation is disabled. Layers above the
+// ranks (measurement harnesses) use it to contribute their own spans
+// to the same per-universe trace.
+func (r *Rank) Observer() *obs.Trace { return r.w.obs }
 
 // Status describes a received message.
 type Status struct {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -128,6 +129,15 @@ func Measure(r *mpi.Rank, designated int, timing Timing, opts Options, op func()
 	var samples []float64
 	r.HardSync()
 	start := r.Now()
+	// One measurement span on the designated rank's track: the
+	// designated rank's collective spans (and, under those, the message
+	// spans) nest inside it, so a flame view shows measurement →
+	// collective → wire.
+	var msp obs.SpanID
+	tr := r.Observer()
+	if tr != nil && r.Rank() == designated {
+		msp = tr.Begin(obs.CatMeasure, "measure:"+timing.String(), designated, start)
+	}
 	summarize := func() (stats.Summary, int) {
 		return stats.RobustSummarize(samples, opts.Confidence, opts.OutlierMAD)
 	}
@@ -170,6 +180,10 @@ func Measure(r *mpi.Rank, designated int, timing Timing, opts Options, op func()
 		backoff *= 2
 	}
 
+	if msp != 0 {
+		tr.Annotate(msp, -1, -1, len(samples)) // bytes field reused as rep count
+		tr.End(msp, r.Now())
+	}
 	summary, rejected := summarize()
 	return Measurement{
 		Summary:   summary,

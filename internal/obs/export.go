@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// jsonSpan is the JSONL wire form of a Span. Timestamps are integer
+// nanoseconds of virtual time, so round-trips are exact.
+type jsonSpan struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	Cat    string `json:"cat"`
+	Name   string `json:"name"`
+	Track  int    `json:"track"`
+	Start  int64  `json:"start_ns"`
+	End    int64  `json:"end_ns"`
+	Src    int    `json:"src,omitempty"`
+	Dst    int    `json:"dst,omitempty"`
+	Bytes  int    `json:"bytes,omitempty"`
+}
+
+// catFromString inverts Category.String.
+func catFromString(s string) (Category, error) {
+	for c := CatKernel; c <= CatFault; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown span category %q", s)
+}
+
+// WriteJSONL dumps the trace's spans as one JSON object per line, in
+// emission order — the archival format (exact, greppable, streamable).
+func WriteJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range t.Spans() {
+		if err := enc.Encode(jsonSpan{
+			ID: sp.ID, Parent: sp.Parent, Cat: sp.Cat.String(), Name: sp.Name,
+			Track: sp.Track, Start: int64(sp.Start), End: int64(sp.End),
+			Src: sp.Src, Dst: sp.Dst, Bytes: sp.Bytes,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a WriteJSONL dump back into spans.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var js jsonSpan
+		if err := json.Unmarshal([]byte(text), &js); err != nil {
+			return nil, fmt.Errorf("obs: JSONL line %d: %w", line, err)
+		}
+		cat, err := catFromString(js.Cat)
+		if err != nil {
+			return nil, fmt.Errorf("obs: JSONL line %d: %w", line, err)
+		}
+		out = append(out, Span{
+			ID: js.ID, Parent: js.Parent, Cat: cat, Name: js.Name,
+			Track: js.Track, Start: time.Duration(js.Start), End: time.Duration(js.End),
+			Src: js.Src, Dst: js.Dst, Bytes: js.Bytes,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array.
+// Timestamps and durations are microseconds; "X" is a complete event,
+// "i" an instant, "M" metadata (process/thread names).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event container.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the trace in Chrome's trace_event format:
+// load the file at chrome://tracing (or ui.perfetto.dev) to see the
+// per-track swimlanes. trackName labels the lanes; nil gets "global" /
+// "node N". Tracks map to Chrome thread IDs as track+1 so GlobalTrack
+// lands on tid 0.
+func WriteChromeTrace(w io.Writer, t *Trace, trackName func(track int) string) error {
+	if trackName == nil {
+		trackName = func(track int) string {
+			if track == GlobalTrack {
+				return "global"
+			}
+			return fmt.Sprintf("node %d", track)
+		}
+	}
+	spans := t.Spans()
+	tracks := map[int]bool{}
+	for i := range spans {
+		tracks[spans[i].Track] = true
+	}
+	order := make([]int, 0, len(tracks))
+	for tr := range tracks {
+		order = append(order, tr)
+	}
+	sort.Ints(order)
+
+	evs := make([]chromeEvent, 0, len(spans)+len(order)+1)
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "commperf"},
+	})
+	for _, tr := range order {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tr + 1,
+			Args: map[string]any{"name": trackName(tr)},
+		})
+		// thread_sort_index keeps lanes in track order.
+		evs = append(evs, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: tr + 1,
+			Args: map[string]any{"sort_index": tr + 1},
+		})
+	}
+	for i := range spans {
+		sp := &spans[i]
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Cat.String(),
+			Ts:   float64(sp.Start) / float64(time.Microsecond),
+			Pid:  0,
+			Tid:  sp.Track + 1,
+		}
+		if sp.Src != 0 || sp.Dst != 0 || sp.Bytes != 0 {
+			ev.Args = map[string]any{"src": sp.Src, "dst": sp.Dst, "bytes": sp.Bytes}
+		}
+		if sp.Start == sp.End {
+			ev.Ph = "i"
+			ev.S = "t"
+		} else {
+			ev.Ph = "X"
+			ev.Dur = float64(sp.End-sp.Start) / float64(time.Microsecond)
+		}
+		evs = append(evs, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// flameRow aggregates all spans sharing a (category, name).
+type flameRow struct {
+	cat   Category
+	name  string
+	count int
+	total time.Duration
+	self  time.Duration
+}
+
+// FlameSummary aggregates the trace by span name and renders a
+// text flame table: per name the invocation count, total (inclusive)
+// time and self (exclusive) time, bars scaled to the largest total.
+// Point events are listed with a count only.
+func FlameSummary(t *Trace) string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return "flame summary: no spans recorded\n"
+	}
+	// Self time: a span's duration minus its direct children's.
+	self := make([]time.Duration, len(spans))
+	for i := range spans {
+		self[i] = spans[i].Duration()
+	}
+	for i := range spans {
+		if p := spans[i].Parent; p != 0 {
+			self[p-1] -= spans[i].Duration()
+		}
+	}
+	byKey := map[string]*flameRow{}
+	var keys []string
+	for i := range spans {
+		sp := &spans[i]
+		key := sp.Cat.String() + "\x00" + sp.Name
+		row := byKey[key]
+		if row == nil {
+			row = &flameRow{cat: sp.Cat, name: sp.Name}
+			byKey[key] = row
+			keys = append(keys, key)
+		}
+		row.count++
+		row.total += sp.Duration()
+		if s := self[i]; s > 0 {
+			row.self += s
+		}
+	}
+	rows := make([]*flameRow, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, byKey[k])
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		if rows[i].cat != rows[j].cat {
+			return rows[i].cat < rows[j].cat
+		}
+		return rows[i].name < rows[j].name
+	})
+
+	nameW := len("span")
+	for _, r := range rows {
+		if n := len(r.cat.String()) + 1 + len(r.name); n > nameW {
+			nameW = n
+		}
+	}
+	maxTotal := rows[0].total
+	const barW = 24
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s %7s %12s %12s  %s\n", nameW, "span", "count", "total", "self", "total time")
+	for _, r := range rows {
+		bar := 0
+		if maxTotal > 0 {
+			bar = int(int64(barW) * int64(r.total) / int64(maxTotal))
+		}
+		if bar == 0 && r.total > 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-*s %7d %12s %12s  %s\n",
+			nameW, r.cat.String()+" "+r.name, r.count,
+			fmtDur(r.total), fmtDur(r.self), strings.Repeat("█", bar))
+	}
+	return b.String()
+}
+
+// fmtDur renders a duration compactly with fixed precision so flame
+// summaries line up.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

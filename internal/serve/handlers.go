@@ -298,5 +298,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.Report(s.reg, s.jobs))
+	// Prometheus text exposition by default (what a scraper expects of
+	// /metrics); the structured JSON report on request.
+	format := r.URL.Query().Get("format")
+	if format == "json" || (format == "" && strings.Contains(r.Header.Get("Accept"), "application/json")) {
+		writeJSON(w, http.StatusOK, s.metrics.Report(s.reg, s.jobs))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.metrics.WritePrometheus(w, s.reg, s.jobs)
 }

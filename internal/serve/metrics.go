@@ -1,9 +1,10 @@
 package serve
 
 import (
-	"sort"
-	"sync"
+	"io"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // endpointStats accumulates request counts and latencies for one
@@ -16,36 +17,66 @@ type endpointStats struct {
 	totalMs float64
 }
 
-// Metrics aggregates the service's observability counters.
+// Metrics aggregates the service's observability counters, backed by
+// the obs metrics registry: one state feeds both the JSON report and
+// the Prometheus text exposition of GET /metrics.
 type Metrics struct {
-	mu        sync.Mutex
-	start     time.Time
-	endpoints map[string]*endpointStats
+	start time.Time
+	reg   *obs.Registry
+
+	requests *obs.CounterVec
+	errors   *obs.CounterVec
+	duration *obs.HistogramVec
+
+	// Gauges refreshed from the live service parts at render time.
+	uptime       *obs.GaugeVec
+	cacheEntries *obs.GaugeVec
+	cacheHits    *obs.GaugeVec
+	cacheMisses  *obs.GaugeVec
+	evictions    *obs.GaugeVec
+	workers      *obs.GaugeVec
+	busyWorkers  *obs.GaugeVec
+	runningJobs  *obs.GaugeVec
 }
 
 // NewMetrics builds an empty metrics table.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+	reg := obs.NewRegistry()
+	return &Metrics{
+		start: time.Now(),
+		reg:   reg,
+		requests: reg.Counter("lmoserve_requests_total",
+			"requests served, by endpoint", "endpoint"),
+		errors: reg.Counter("lmoserve_request_errors_total",
+			"responses with status >= 400, by endpoint", "endpoint"),
+		duration: reg.Histogram("lmoserve_request_seconds",
+			"request latency in seconds, by endpoint", obs.DefBuckets, "endpoint"),
+		uptime: reg.Gauge("lmoserve_uptime_seconds",
+			"seconds since the service started"),
+		cacheEntries: reg.Gauge("lmoserve_cache_entries",
+			"model registry entries resident"),
+		cacheHits: reg.Gauge("lmoserve_cache_hits_total",
+			"model registry lookups answered from the cache"),
+		cacheMisses: reg.Gauge("lmoserve_cache_misses_total",
+			"model registry lookups that triggered an estimation"),
+		evictions: reg.Gauge("lmoserve_cache_evictions_total",
+			"model registry entries dropped by the LRU bound"),
+		workers: reg.Gauge("lmoserve_campaign_workers",
+			"campaign workers across running estimation jobs"),
+		busyWorkers: reg.Gauge("lmoserve_campaign_busy_workers",
+			"campaign workers currently executing a task"),
+		runningJobs: reg.Gauge("lmoserve_campaign_running_jobs",
+			"estimation jobs in the running state"),
+	}
 }
 
 // Observe records one request.
 func (m *Metrics) Observe(endpoint string, status int, took time.Duration) {
-	ms := float64(took) / float64(time.Millisecond)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	es := m.endpoints[endpoint]
-	if es == nil {
-		es = &endpointStats{}
-		m.endpoints[endpoint] = es
-	}
-	es.Count++
+	m.requests.Add(1, endpoint)
 	if status >= 400 {
-		es.Errors++
+		m.errors.Add(1, endpoint)
 	}
-	es.totalMs += ms
-	if ms > es.MaxMs {
-		es.MaxMs = ms
-	}
+	m.duration.Observe(took.Seconds(), endpoint)
 }
 
 // EndpointReport is one endpoint's stats in the ordered rendering of
@@ -55,9 +86,9 @@ type EndpointReport struct {
 	endpointStats
 }
 
-// MetricsReport is the GET /metrics payload. Endpoints carries the
-// per-endpoint stats in sorted name order — the stable rendering;
-// Requests keeps the keyed form for lookups.
+// MetricsReport is the JSON form of the GET /metrics payload.
+// Endpoints carries the per-endpoint stats in sorted name order — the
+// stable rendering; Requests keeps the keyed form for lookups.
 type MetricsReport struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Endpoints     []EndpointReport         `json:"endpoints"`
@@ -73,29 +104,37 @@ type MetricsReport struct {
 	} `json:"campaign"`
 }
 
-// Report assembles the metrics payload from the service's parts.
+// endpointReport derives one endpoint's JSON stats from the registry
+// series.
+func (m *Metrics) endpointReport(name string) endpointStats {
+	s, _ := m.duration.Sample(name)
+	es := endpointStats{
+		Count:   s.Count,
+		Errors:  int64(m.errors.Value(name)),
+		MaxMs:   s.Max * 1e3,
+		totalMs: s.Sum * 1e3,
+	}
+	if es.Count > 0 {
+		es.MeanMs = es.totalMs / float64(es.Count)
+	}
+	return es
+}
+
+// Report assembles the metrics payload from the service's parts. The
+// registry's series are held in sorted label order, so the payload is
+// byte-stable across renders: no map iteration order can leak in.
 func (m *Metrics) Report(reg *Registry, jobs *Jobs) MetricsReport {
 	var rep MetricsReport
-	m.mu.Lock()
 	rep.UptimeSeconds = time.Since(m.start).Seconds()
-	// Render in sorted name order so the payload is byte-stable across
-	// runs: map iteration order must not leak into output.
-	names := make([]string, 0, len(m.endpoints))
-	for name := range m.endpoints {
-		names = append(names, name)
+	sets := m.duration.LabelSets()
+	rep.Endpoints = make([]EndpointReport, 0, len(sets))
+	rep.Requests = make(map[string]endpointStats, len(sets))
+	for _, labels := range sets {
+		name := labels[0]
+		es := m.endpointReport(name)
+		rep.Endpoints = append(rep.Endpoints, EndpointReport{Name: name, endpointStats: es})
+		rep.Requests[name] = es
 	}
-	sort.Strings(names)
-	rep.Endpoints = make([]EndpointReport, 0, len(names))
-	rep.Requests = make(map[string]endpointStats, len(names))
-	for _, name := range names {
-		cp := *m.endpoints[name]
-		if cp.Count > 0 {
-			cp.MeanMs = cp.totalMs / float64(cp.Count)
-		}
-		rep.Endpoints = append(rep.Endpoints, EndpointReport{Name: name, endpointStats: cp})
-		rep.Requests[name] = cp
-	}
-	m.mu.Unlock()
 
 	rep.Cache = reg.Stats()
 	rep.CacheEntries = reg.Len()
@@ -111,4 +150,27 @@ func (m *Metrics) Report(reg *Registry, jobs *Jobs) MetricsReport {
 		}
 	}
 	return rep
+}
+
+// WritePrometheus renders the Prometheus text exposition of the same
+// state the JSON report exposes, refreshing the derived gauges from
+// the live service parts first.
+func (m *Metrics) WritePrometheus(w io.Writer, reg *Registry, jobs *Jobs) error {
+	m.uptime.Set(time.Since(m.start).Seconds())
+	cs := reg.Stats()
+	m.cacheEntries.Set(float64(reg.Len()))
+	m.cacheHits.Set(float64(cs.Hits))
+	m.cacheMisses.Set(float64(cs.Misses))
+	m.evictions.Set(float64(cs.Evictions))
+	busy, workers := jobs.Utilization()
+	m.workers.Set(float64(workers))
+	m.busyWorkers.Set(float64(busy))
+	running := 0
+	for _, j := range jobs.List() {
+		if j.State == JobRunning {
+			running++
+		}
+	}
+	m.runningJobs.Set(float64(running))
+	return m.reg.WritePrometheus(w)
 }

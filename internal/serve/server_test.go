@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -251,7 +252,7 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	var rep MetricsReport
-	if st := getJSON(t, ts.URL+"/metrics", &rep); st != http.StatusOK {
+	if st := getJSON(t, ts.URL+"/metrics?format=json", &rep); st != http.StatusOK {
 		t.Fatalf("GET /metrics: status %d", st)
 	}
 	if rep.Cache.Hits < 1 {
@@ -302,7 +303,7 @@ func TestPredictColdMissEstimates(t *testing.T) {
 		t.Fatalf("second predict: status %d cache %q, want 200/hit", status, pred.Cache)
 	}
 	var rep MetricsReport
-	getJSON(t, ts.URL+"/metrics", &rep)
+	getJSON(t, ts.URL+"/metrics?format=json", &rep)
 	if rep.Cache.Estimations != 1 || rep.Cache.Hits != 1 {
 		t.Fatalf("cache stats = %+v, want 1 estimation and 1 hit", rep.Cache)
 	}
@@ -397,7 +398,7 @@ func TestMetricsCountsRequests(t *testing.T) {
 	getJSON(t, ts.URL+"/healthz", nil)
 	postJSON(t, ts.URL+"/predict", map[string]any{"op": "bad"}, nil) // 400
 	var rep MetricsReport
-	if status := getJSON(t, ts.URL+"/metrics", &rep); status != http.StatusOK {
+	if status := getJSON(t, ts.URL+"/metrics?format=json", &rep); status != http.StatusOK {
 		t.Fatalf("GET /metrics: status %d", status)
 	}
 	if rep.Requests["healthz"].Count != 1 {
@@ -405,5 +406,56 @@ func TestMetricsCountsRequests(t *testing.T) {
 	}
 	if rep.Requests["predict"].Errors != 1 {
 		t.Fatalf("predict errors = %d, want 1", rep.Requests["predict"].Errors)
+	}
+}
+
+// TestMetricsPrometheusExposition checks the default GET /metrics
+// rendering: the Prometheus text format carrying the request counters,
+// the latency histogram and the gauges derived from the live service.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	getJSON(t, ts.URL+"/healthz", nil)
+	getJSON(t, ts.URL+"/healthz", nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	for _, want := range []string{
+		"# TYPE lmoserve_requests_total counter",
+		`lmoserve_requests_total{endpoint="healthz"} 2`,
+		"# TYPE lmoserve_request_seconds histogram",
+		`lmoserve_request_seconds_count{endpoint="healthz"} 2`,
+		"# TYPE lmoserve_uptime_seconds gauge",
+		"lmoserve_campaign_workers 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	// An Accept: application/json client gets the structured report.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	jresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var rep MetricsReport
+	if err := json.NewDecoder(jresp.Body).Decode(&rep); err != nil {
+		t.Fatalf("Accept: application/json did not yield the JSON report: %v", err)
+	}
+	if rep.Requests["healthz"].Count != 2 {
+		t.Fatalf("healthz count = %d, want 2", rep.Requests["healthz"].Count)
 	}
 }

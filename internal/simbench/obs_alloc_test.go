@@ -1,0 +1,69 @@
+package simbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/vtime"
+)
+
+// TestDisabledTracingZeroAlloc is the bench-smoke guard for the
+// observability layer: with no observer installed, the event hot path
+// must stay exactly as allocation-free as PR 3 left it (BENCH_simnet's
+// 0 allocs/op for EngineEvents). Every obs hook on the path is a nil
+// check, so a regression here means someone put work before the check.
+func TestDisabledTracingZeroAlloc(t *testing.T) {
+	run := func(n int) uint64 {
+		eng := vtime.NewEngine()
+		eng.Go("ticker", func(p *vtime.Proc) {
+			for i := 0; i < n; i++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+		return mallocsDuring(func() {
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	run(100) // warm up the runtime (goroutine stacks, timer wheels)
+	const n = 50000
+	allocs := run(n)
+	// Engine construction and the one proc are O(1); the n events must
+	// contribute nothing. Allow the fixed setup a small budget.
+	if allocs > 64 {
+		t.Fatalf("disabled-tracing hot path allocated %d times over %d events; want O(1) setup only", allocs, n)
+	}
+}
+
+// TestEnabledTracingCountsEvents pins the other side of the contract:
+// installing an observer records every dispatched event without
+// changing the simulated clock.
+func TestEnabledTracingCountsEvents(t *testing.T) {
+	const n = 1000
+	run := func(tr *obs.Trace) time.Duration {
+		eng := vtime.NewEngine()
+		if tr != nil {
+			eng.SetObserver(tr)
+		}
+		eng.Go("ticker", func(p *vtime.Proc) {
+			for i := 0; i < n; i++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	plain := run(nil)
+	tr := obs.NewTrace()
+	traced := run(tr)
+	if plain != traced {
+		t.Fatalf("observer changed the clock: %v vs %v", plain, traced)
+	}
+	if got := tr.Counter("vtime.events").Value(); got < n {
+		t.Fatalf("vtime.events = %d, want >= %d", got, n)
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/vtime"
 )
 
@@ -90,6 +91,7 @@ type Network struct {
 
 	counters Counters
 	tracer   func(ev TraceEvent)
+	obs      *obs.Trace // span observer; nil = disabled (the common case)
 }
 
 // New builds a network over the engine for the given cluster and TCP
@@ -192,12 +194,18 @@ func (d *inTransit) Fire() {
 		// The destination crashed while the message was on the wire:
 		// black-hole it.
 		n.counters.BlackHole++
+		if n.obs != nil {
+			n.obs.EmitMsg(obs.CatMessage, "black-hole", dst, msg.InjectedAt, n.eng.Now(), src, dst, len(msg.Payload))
+		}
 		n.putMessage(msg)
 	} else {
 		msg.ArrivedAt = n.eng.Now()
 		n.boxes[dst] = append(n.boxes[dst], msg)
 		n.conds[dst].Broadcast()
 		n.trace(TraceDeliver, n.eng.Now(), msg, false)
+		if n.obs != nil {
+			n.obs.EmitMsg(obs.CatMessage, "wire", dst, msg.InjectedAt, msg.ArrivedAt, src, dst, len(msg.Payload))
+		}
 	}
 	if d.delivered != nil {
 		d.arrived = true
@@ -271,6 +279,9 @@ func (n *Network) SetFaults(plan *faults.Plan) error {
 			n.dead[node] = true
 			n.counters.Crashed++
 			n.inj.NoteCrash()
+			if n.obs != nil {
+				n.obs.Point(obs.CatFault, "crash", node, n.eng.Now())
+			}
 			// Black-hole anything already queued for the dead node and
 			// wake every waiter so blocked peers can re-examine their
 			// state (and detect the crash).
@@ -415,7 +426,8 @@ func (n *Network) SendDeadline(p *vtime.Proc, src, dst, tag int, payload []byte,
 	}
 	// Injected packet loss: each lost packet stalls the flow for an
 	// RTO before retransmission, like the escalations but on any link.
-	if stall, lost := n.inj.TransferStall(src, dst); lost > 0 {
+	stall, lost := n.inj.TransferStall(src, dst)
+	if lost > 0 {
 		seg += stall
 		n.counters.Lost += lost
 		n.counters.Stalled += stall
@@ -444,6 +456,19 @@ func (n *Network) SendDeadline(p *vtime.Proc, src, dst, tag int, payload []byte,
 	n.counters.Messages++
 	n.counters.Bytes += int64(m)
 	n.trace(TraceInject, now, msg, escalated)
+	if n.obs != nil {
+		// Send-CPU span: [SentAt, InjectedAt] on the sender's track. The
+		// escalation and loss-stall incidents are pinned to the transfer
+		// slot [start, done] the link booked for this message.
+		n.obs.EmitMsg(obs.CatMessage, "send", src, msg.SentAt, now, src, dst, m)
+		if escalated {
+			n.obs.Point(obs.CatFault, "escalation", dst, start)
+		}
+		if lost > 0 {
+			sp := n.obs.Emit(obs.CatFault, "rto-stall", dst, start, start+stall)
+			n.obs.Annotate(sp, src, dst, lost)
+		}
+	}
 	d := n.getTransit()
 	d.net, d.msg = n, msg
 	if n.prof.Rendezvous > 0 && m >= n.prof.Rendezvous {
@@ -527,6 +552,9 @@ func (n *Network) RecvDeadline(p *vtime.Proc, dst, src, tag int, deadline time.D
 				n.cpus[dst].Use(p, 1, n.scaleCPU(dst, n.ReceiverCost(dst, len(out.Payload))))
 				n.checkSelf(p, dst)
 				n.trace(TraceRecvDone, p.Now(), &out, false)
+				if n.obs != nil {
+					n.obs.EmitMsg(obs.CatMessage, "recv", dst, out.ArrivedAt, p.Now(), out.Src, dst, len(out.Payload))
+				}
 				return out, nil
 			}
 		}

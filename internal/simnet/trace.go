@@ -3,6 +3,8 @@ package simnet
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TraceKind labels a trace event.
@@ -57,6 +59,16 @@ func (e TraceEvent) String() string {
 // disables tracing. The tracer runs synchronously inside the
 // simulation and must not block.
 func (n *Network) SetTracer(fn func(ev TraceEvent)) { n.tracer = fn }
+
+// SetObserver installs a span trace observing message lifecycle
+// phases, RTO stalls, escalations and fault incidents (nil disables
+// it). Spans are emitted at phase completion with the timestamps the
+// simulation computed anyway, so observation cannot perturb the run:
+// a send span [SentAt, InjectedAt] on the source's track, a wire span
+// [InjectedAt, ArrivedAt] and a recv span [ArrivedAt, recv-done] on
+// the destination's, each parented to whatever collective span the
+// mpi layer has open on that track.
+func (n *Network) SetObserver(t *obs.Trace) { n.obs = t }
 
 // trace emits an event if a tracer is installed.
 func (n *Network) trace(kind TraceKind, at time.Duration, msg *Message, escalated bool) {

@@ -25,6 +25,8 @@ package vtime
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Engine is a discrete-event simulation engine. The zero value is not
@@ -45,6 +47,13 @@ type Engine struct {
 	cbPanic  any   // panic raised by an event callback, re-raised from Run
 	steps    uint64
 	maxSteps uint64 // safety valve; 0 means unlimited
+
+	// Observability. The counters are cached at SetObserver time so the
+	// dispatch loops pay one nil check per event when tracing is off and
+	// one atomic add when it is on — never a lookup, never an allocation.
+	obsTrace   *obs.Trace
+	obsEvents  *obs.Counter // events dispatched (resume + call + handler)
+	obsResumes *obs.Counter // events that resumed a process
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -59,6 +68,34 @@ func (e *Engine) SetMaxSteps(n uint64) { e.maxSteps = n }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// SetObserver installs a trace to observe event dispatch (nil removes
+// it). Observation is purely passive: it counts dispatched events and
+// never schedules, so an observed run pops the identical event stream
+// at identical virtual timestamps. Install before Run.
+func (e *Engine) SetObserver(t *obs.Trace) {
+	e.obsTrace = t
+	if t == nil {
+		e.obsEvents, e.obsResumes = nil, nil
+		return
+	}
+	e.obsEvents = t.Counter("vtime.events")
+	e.obsResumes = t.Counter("vtime.resumes")
+}
+
+// noteEvent counts one dispatched event against the observer. The
+// disabled path is a single nil compare.
+//
+//lmovet:hotpath
+func (e *Engine) noteEvent(resume bool) {
+	if e.obsEvents == nil {
+		return
+	}
+	e.obsEvents.Add(1)
+	if resume {
+		e.obsResumes.Add(1)
+	}
+}
 
 // Handler is a prepared event action. Objects implementing it can be
 // scheduled with AtHandler without allocating a closure: the interface
@@ -314,6 +351,7 @@ func (e *Engine) dispatchAs(self *Proc) {
 		}
 		ev := e.events.pop()
 		e.now = ev.t
+		e.noteEvent(ev.p != nil)
 		if ev.p != nil {
 			if ev.p == self {
 				return // fast path: the dispatcher resumes itself
@@ -339,6 +377,7 @@ func (e *Engine) dispatchFromExit() {
 		}
 		ev := e.events.pop()
 		e.now = ev.t
+		e.noteEvent(ev.p != nil)
 		if ev.p != nil {
 			ev.p.resume <- struct{}{}
 			return
@@ -423,6 +462,7 @@ func (e *Engine) Run() error {
 		}
 		ev := e.events.pop()
 		e.now = ev.t
+		e.noteEvent(ev.p != nil)
 		if ev.p != nil {
 			ev.p.resume <- struct{}{}
 			<-e.mainWake // sleep until the run drains or breaks
