@@ -3,9 +3,9 @@
 // Estimated model sets live in an LRU-bounded in-memory registry keyed
 // by platform (cluster, node count, TCP profile, seed); a prediction
 // for an unknown platform estimates it on the spot (deduplicated
-// across concurrent requests), and POST /estimate runs asynchronous
-// estimation campaigns — optionally sweeping seeds — through the
-// campaign engine.
+// across concurrent requests, admission-controlled, circuit-broken per
+// platform), and POST /estimate runs asynchronous estimation campaigns
+// — optionally sweeping seeds — through the campaign engine.
 //
 // Endpoints:
 //
@@ -13,8 +13,15 @@
 //	POST /estimate  {"cluster","nodes","profile","seeds","estimator","parallel"} -> job
 //	GET  /jobs      list estimation jobs; GET /jobs/{id} polls one
 //	GET  /models    list the cached model sets
-//	GET  /metrics   request counts/latencies, cache hit rate, worker utilization
-//	GET  /healthz
+//	GET  /metrics   Prometheus exposition (JSON with ?format=json)
+//	GET  /healthz   liveness (200 even while draining)
+//	GET  /readyz    readiness (503 once draining)
+//
+// On SIGINT/SIGTERM the server stops admitting new work, drains
+// running estimation jobs up to -drain, persists a manifest of any
+// jobs still running at the deadline (-manifest), then exits; a
+// restarted process reports those interrupted jobs on /healthz and
+// GET /jobs.
 //
 // Usage:
 //
@@ -24,11 +31,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/models"
@@ -42,13 +52,37 @@ func main() {
 		parallel = flag.Int("parallel", 0, "default campaign worker count for estimation jobs (0: GOMAXPROCS)")
 		capacity = flag.Int("lru", 64, "model registry capacity (LRU eviction beyond it)")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-task estimation timeout")
+
+		reqTimeout  = flag.Duration("request-timeout", 5*time.Minute, "per-request deadline, propagated into estimation work (<=0 disables)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for running jobs")
+		maxInflight = flag.Int("max-inflight", 4, "concurrent synchronous estimations (/predict misses)")
+		maxQueue    = flag.Int("max-queue", 16, "requests waiting for an estimation slot before shedding with 429")
+		maxRunning  = flag.Int("max-running-jobs", 4, "concurrent /estimate campaigns before shedding with 429")
+		maxJobs     = flag.Int("max-jobs", 256, "retained jobs before evicting terminal ones oldest-first")
+		jobTTL      = flag.Duration("job-ttl", time.Hour, "terminal-job retention before eviction (<=0 keeps until -max-jobs)")
+		maxBody     = flag.Int64("max-body", 1<<20, "request body byte limit (413 beyond it)")
+		manifest    = flag.String("manifest", "", "path for the unfinished-job manifest written when a drain misses its deadline (and read back at startup)")
 	)
 	flag.Parse()
 
 	cfg := serve.Config{
-		Capacity:    *capacity,
-		Parallel:    *parallel,
-		TaskTimeout: *timeout,
+		Capacity:       *capacity,
+		Parallel:       *parallel,
+		TaskTimeout:    *timeout,
+		RequestTimeout: *reqTimeout,
+		MaxConcurrent:  *maxInflight,
+		MaxQueue:       *maxQueue,
+		MaxRunningJobs: *maxRunning,
+		MaxJobs:        *maxJobs,
+		JobTTL:         *jobTTL,
+		MaxBodyBytes:   *maxBody,
+		ManifestPath:   *manifest,
+	}
+	if *reqTimeout <= 0 {
+		cfg.RequestTimeout = -1
+	}
+	if *jobTTL <= 0 {
+		cfg.JobTTL = -1
 	}
 	if *preload != "" {
 		for _, path := range strings.Split(*preload, ",") {
@@ -68,17 +102,58 @@ func main() {
 		}
 	}
 
-	srv, err := serve.New(context.Background(), cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := serve.New(ctx, cfg)
 	if err != nil {
 		fail("%v", err)
 	}
 	for _, k := range srv.Registry().Keys() {
 		fmt.Printf("lmoserve: preloaded %s\n", k)
 	}
-	fmt.Printf("lmoserve: listening on %s (registry capacity %d)\n", *addr, *capacity)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fail("%v", err)
+	for _, j := range srv.Interrupted() {
+		fmt.Printf("lmoserve: previous process left job %s (%s[%d]/%s) unfinished at its drain deadline\n",
+			j.ID, j.Cluster, j.Nodes, j.Profile)
 	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// WriteTimeout must outlast the request deadline or slow
+		// estimations would be cut off mid-response.
+		WriteTimeout: *reqTimeout + 30*time.Second,
+	}
+	if *reqTimeout <= 0 {
+		httpSrv.WriteTimeout = 0
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("lmoserve: listening on %s (registry capacity %d, %d estimation slots, queue %d)\n",
+		*addr, *capacity, *maxInflight, *maxQueue)
+
+	select {
+	case err := <-errc:
+		fail("%v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	fmt.Printf("lmoserve: signal received; draining (deadline %s)\n", *drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "lmoserve: %v\n", err)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "lmoserve: closing listener: %v\n", err)
+	}
+	fmt.Println("lmoserve: drained; exiting")
 }
 
 func fail(format string, args ...any) {

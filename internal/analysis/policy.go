@@ -24,18 +24,45 @@ var deterministicPkgs = map[string]bool{
 }
 
 // wallClockAllowed lists the packages that legitimately touch the host
-// clock: the campaign scheduler times real work, the serve layer
-// reports real latencies, simbench measures the simulator itself, and
-// the cmd binaries talk to humans.
+// clock: the campaign scheduler times real work, simbench measures the
+// simulator itself, and the cmd binaries talk to humans.
 //
 // The list is maintained for documentation and for Scope's benefit; a
 // package is wall-clock-legitimate exactly when it is not
-// deterministic.
+// deterministic and not file-scoped (see wallClockFileAllowed).
 var wallClockAllowed = []string{
 	"repro/internal/campaign",
-	"repro/internal/serve",
 	"repro/internal/simbench",
 	"repro/cmd/",
+}
+
+// wallClockFileAllowed scopes wall-clock access inside otherwise
+// clock-free packages to a named set of files. The serve package's
+// robustness machinery (admission control, circuit breakers, the job
+// store, retry backoff) is clock-free by construction — it reads
+// monotonic time through injected funcs so the chaos suite can drive
+// it deterministically — and only the server-lifecycle files may wire
+// the real clock in.
+var wallClockFileAllowed = map[string]map[string]bool{
+	"repro/internal/serve": {
+		"server.go":    true, // request latency timestamps
+		"lifecycle.go": true, // drain grace, manifest timestamps, real clock/sleep wiring
+		"metrics.go":   true, // uptime and latency exposition
+	},
+}
+
+// WallClockFileAllowed reports whether the named file (base name) of
+// the package at path may read the wall clock even though the package
+// is otherwise in the walltime analyzer's scope.
+func WallClockFileAllowed(path, file string) bool {
+	return wallClockFileAllowed[path][file]
+}
+
+// WallClockFileScoped reports whether the package at path restricts
+// wall-clock access to an approved file list.
+func WallClockFileScoped(path string) bool {
+	_, ok := wallClockFileAllowed[path]
+	return ok
 }
 
 // IsDeterministic reports whether the package at the given import path
@@ -45,8 +72,10 @@ func IsDeterministic(path string) bool { return deterministicPkgs[path] }
 // Scope returns the analyzers lmovet runs on the package with the
 // given import path:
 //
-//   - walltime: deterministic packages only (see wallClockAllowed for
-//     the exempt list);
+//   - walltime: deterministic packages, plus file-scoped packages
+//     (repro/internal/serve: clock-free outside the approved
+//     server-lifecycle files; see wallClockAllowed and
+//     wallClockFileAllowed);
 //   - globalrand, maporder: everywhere under internal/ — a seeded RNG
 //     and stable iteration order are output-stability requirements for
 //     the serving and reporting layers too;
@@ -56,7 +85,7 @@ func IsDeterministic(path string) bool { return deterministicPkgs[path] }
 //     functions).
 func Scope(path string) []*Analyzer {
 	var out []*Analyzer
-	if IsDeterministic(path) {
+	if IsDeterministic(path) || WallClockFileScoped(path) {
 		out = append(out, Walltime)
 	}
 	if strings.HasPrefix(path, "repro/internal/") {

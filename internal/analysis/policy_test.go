@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestServeWalltimeScope pins the robustness-layer policy: the serve
+// package is in the walltime analyzer's scope, with wall-clock access
+// confined to the approved server-lifecycle files.
+func TestServeWalltimeScope(t *testing.T) {
+	const serve = "repro/internal/serve"
+	found := false
+	for _, a := range analysis.Scope(serve) {
+		if a == analysis.Walltime {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("walltime must cover repro/internal/serve")
+	}
+	for _, file := range []string{"server.go", "lifecycle.go", "metrics.go"} {
+		if !analysis.WallClockFileAllowed(serve, file) {
+			t.Errorf("%s must be wall-clock approved in serve", file)
+		}
+	}
+	for _, file := range []string{"breaker.go", "admission.go", "registry.go", "jobs.go", "handlers.go"} {
+		if analysis.WallClockFileAllowed(serve, file) {
+			t.Errorf("%s must stay clock-free in serve", file)
+		}
+	}
+	// Deterministic packages have no file exemptions.
+	if analysis.WallClockFileAllowed("repro/internal/vtime", "engine.go") {
+		t.Error("deterministic packages must not gain file exemptions")
+	}
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 )
 
 // wallClockFuncs are the package-level functions of package time that
@@ -23,10 +24,12 @@ var wallClockFuncs = map[string]bool{
 }
 
 // Walltime forbids wall-clock access (time.Now, time.Since, time.Sleep,
-// time.After, timers, tickers) in deterministic packages. Which
-// packages are deterministic is decided by the driver (see policy.go);
-// the analyzer itself flags every use it sees. Suppress a legitimate
-// use with //lmovet:allow walltime.
+// time.After, timers, tickers) in deterministic packages and in the
+// clock-free parts of file-scoped packages (WallClockFileAllowed names
+// the files that may wire the real clock in). Which packages are in
+// scope is decided by the driver (see policy.go); the analyzer flags
+// every use outside an allowed file. Suppress a legitimate use with
+// //lmovet:allow walltime.
 var Walltime = &Analyzer{
 	Name: "walltime",
 	Doc:  "forbid wall-clock access inside the deterministic simulation universe",
@@ -35,6 +38,10 @@ var Walltime = &Analyzer{
 
 func runWalltime(pass *Pass) error {
 	for _, f := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if WallClockFileAllowed(pass.Pkg.Path(), base) {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {

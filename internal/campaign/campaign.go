@@ -213,6 +213,12 @@ type Options struct {
 	// Stats, when non-nil, receives live progress counters (worker
 	// utilization for a serving layer's metrics endpoint).
 	Stats *Stats
+	// RunTask, when non-nil, replaces the built-in task executor — the
+	// fault-injection seam for robustness tests (the serving layer's
+	// chaos suite scripts slow, failing and panicking tasks through
+	// it). The engine's panic capture, timeout and cancellation still
+	// wrap the hook exactly as they wrap real tasks.
+	RunTask func(Grid, Task) Result
 	// Obs, when non-nil, receives one task span per grid point (track =
 	// task index, wall-clock offsets from campaign start) — a Gantt
 	// chart of the pool. Task spans are emitted after all workers have
@@ -283,6 +289,10 @@ func Run(ctx context.Context, g Grid, o Options) (*Outcome, error) {
 	st.Workers.Store(int64(workers))
 	st.Total.Store(int64(len(tasks)))
 
+	taskFn := runTaskFn
+	if o.RunTask != nil {
+		taskFn = o.RunTask
+	}
 	results := make([]Result, len(tasks))
 	queue := make(chan Task)
 	var wg sync.WaitGroup
@@ -292,11 +302,14 @@ func Run(ctx context.Context, g Grid, o Options) (*Outcome, error) {
 			defer wg.Done()
 			for t := range queue {
 				st.Busy.Add(1)
-				results[t.Index] = execute(ctx, g, t, o.TaskTimeout, start)
+				results[t.Index] = execute(ctx, g, t, o.TaskTimeout, start, taskFn)
 				st.Busy.Add(-1)
 				st.Done.Add(1)
 				if results[t.Index].Err != "" {
 					st.Failed.Add(1)
+				}
+				if results[t.Index].Panicked {
+					st.Panicked.Add(1)
 				}
 			}
 		}()
@@ -341,6 +354,11 @@ dispatch:
 	return out, nil
 }
 
+// NewResult seeds a Result with the task's identity fields — the
+// starting point for Options.RunTask hooks, which must return results
+// keyed to the task they were handed.
+func (t Task) NewResult() Result { return newResult(t) }
+
 // newResult seeds a Result with the task's identity fields.
 func newResult(t Task) Result {
 	return Result{
@@ -358,13 +376,9 @@ func newResult(t Task) Result {
 // completes in the background and its result is discarded) — the
 // simulator has no preemption points, and a stuck universe must not
 // stall the pool.
-func execute(ctx context.Context, g Grid, t Task, timeout time.Duration, epoch time.Time) Result {
+func execute(ctx context.Context, g Grid, t Task, timeout time.Duration, epoch time.Time, runTask func(Grid, Task) Result) Result {
 	start := time.Now()
 	done := make(chan Result, 1)
-	// Read the (test-swappable) task hook before spawning: the goroutine
-	// may outlive execute when the task is abandoned on timeout or
-	// cancellation, and must not touch package state after that.
-	runTask := runTaskFn
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {

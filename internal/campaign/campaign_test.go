@@ -255,3 +255,54 @@ func TestStatsCounters(t *testing.T) {
 		t.Fatal("idle pool should report zero utilization")
 	}
 }
+
+// TestRunTaskHook checks the fault-injection seam: Options.RunTask
+// replaces the built-in executor for every task, and the engine's
+// panic capture and stats accounting wrap the hook exactly as they
+// wrap real tasks.
+func TestRunTaskHook(t *testing.T) {
+	g := smallGrid()
+	var st Stats
+	var hooked atomic.Int64
+	out, err := Run(context.Background(), g, Options{
+		Parallel: 2,
+		Stats:    &st,
+		RunTask: func(_ Grid, tk Task) Result {
+			hooked.Add(1)
+			if tk.Seed == 2 {
+				panic("injected hook panic")
+			}
+			r := tk.NewResult()
+			r.Metrics = map[string]float64{"injected": float64(tk.Seed)}
+			return r
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(hooked.Load()) != g.Size() {
+		t.Fatalf("hook ran %d times, want every task (%d)", hooked.Load(), g.Size())
+	}
+	var panicked, injected int
+	for _, r := range out.Results {
+		switch {
+		case r.Seed == 2:
+			if !r.Panicked || !strings.Contains(r.Err, "injected hook panic") {
+				t.Fatalf("seed-2 task should carry the captured panic: %+v", r)
+			}
+			panicked++
+		default:
+			if r.Err != "" || r.Metrics["injected"] != float64(r.Seed) {
+				t.Fatalf("hooked task result corrupted: %+v", r)
+			}
+			injected++
+		}
+	}
+	if panicked == 0 || injected == 0 {
+		t.Fatal("hook test must see both panicking and clean tasks")
+	}
+	snap := st.Snapshot()
+	if snap.Panicked != int64(panicked) || snap.Failed != int64(panicked) {
+		t.Fatalf("stats = %+v, want %d panicked/failed", snap, panicked)
+	}
+}

@@ -1,0 +1,103 @@
+package serve
+
+// Admission control for the estimation work the service performs on
+// behalf of requests. Synchronous estimations (a /predict registry
+// miss) pass through a bounded slot pool with a bounded wait queue;
+// when both are full the request is shed with 429 + Retry-After
+// instead of queueing without limit. Asynchronous campaigns (/estimate
+// jobs) are bounded separately by the job store's running limit.
+//
+// This file is clock-free (covered by lmovet's walltime analyzer):
+// queue waits ride on the request context, whose deadline the server
+// sets in the wall-clock-approved lifecycle files.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ShedError reports load shedding: the request was refused without
+// doing work, to keep the service responsive. Handlers map it to
+// 429 Too Many Requests with a Retry-After hint.
+type ShedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("overloaded: %s (retry in %s)", e.Reason, e.RetryAfter)
+}
+
+// DrainingError reports that the server is shutting down and no longer
+// admits work. Handlers map it to 503 Service Unavailable.
+type DrainingError struct{}
+
+func (*DrainingError) Error() string { return "server is draining; not admitting new work" }
+
+// admission is the bounded slot pool plus wait queue in front of
+// synchronous estimation work.
+type admission struct {
+	slots      chan struct{} // buffered; a token is a right to estimate
+	maxQueue   int64
+	queued     atomic.Int64
+	shed       atomic.Int64 // requests refused (for the metrics gauge)
+	retryAfter time.Duration
+}
+
+func newAdmission(slots, queue int, retryAfter time.Duration) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	a := &admission{
+		slots:      make(chan struct{}, slots),
+		maxQueue:   int64(queue),
+		retryAfter: retryAfter,
+	}
+	for i := 0; i < slots; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire claims an estimation slot, waiting in the bounded queue if
+// none is free. It returns the release func, or a *ShedError when the
+// queue is full or the context expires while queued.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case <-a.slots:
+		return a.release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return nil, &ShedError{Reason: "estimation queue is full", RetryAfter: a.retryAfter}
+	}
+	defer a.queued.Add(-1)
+	select {
+	case <-a.slots:
+		return a.release, nil
+	case <-ctx.Done():
+		a.shed.Add(1)
+		return nil, &ShedError{Reason: "request deadline expired while queued", RetryAfter: a.retryAfter}
+	}
+}
+
+func (a *admission) release() { a.slots <- struct{}{} }
+
+// Depth is the number of requests waiting for a slot.
+func (a *admission) Depth() int64 { return a.queued.Load() }
+
+// InFlight is the number of slots currently claimed.
+func (a *admission) InFlight() int64 { return int64(cap(a.slots) - len(a.slots)) }
+
+// Shed is the number of requests refused so far.
+func (a *admission) Shed() int64 { return a.shed.Load() }

@@ -1,0 +1,258 @@
+package serve
+
+// Circuit breaking for the registry's estimation path. One wedged or
+// failing platform must not take down /predict for healthy models:
+// after a run of consecutive estimation failures the key's circuit
+// opens and requests fail fast with a Retry-After hint instead of
+// queueing behind a doomed estimation. After a cooldown the breaker
+// admits a single half-open probe; its outcome closes or re-opens the
+// circuit.
+//
+// This file is clock-free by design (lmovet's walltime analyzer covers
+// it): the breaker reads monotonic time through an injected func and
+// draws retry jitter from a seeded per-key RNG, so tests drive it with
+// a fake clock and its behavior is a pure function of the event
+// sequence.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerConfig parameterizes the per-key estimation circuit breakers
+// and the retry policy inside one estimation flight.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure run that opens a key's
+	// circuit (default 3).
+	Failures int
+	// Cooldown is how long an open circuit rejects requests before
+	// admitting a half-open probe (default 30s).
+	Cooldown time.Duration
+	// MaxRetries is the number of extra estimation attempts within one
+	// flight before the flight fails (default 2; 0 disables retries).
+	MaxRetries int
+	// Backoff is the base delay before the first retry; subsequent
+	// retries double it (default 50ms).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 2s).
+	MaxBackoff time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	return c
+}
+
+// breakerState is one circuit's position in the state machine.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// gaugeValue is the state's numeric encoding for the metrics gauge
+// (0 closed, 1 half-open, 2 open).
+func (s breakerState) gaugeValue() float64 { return float64(s) }
+
+// BreakerOpenError reports a fast-failed request: the key's circuit is
+// open and no estimation was attempted.
+type BreakerOpenError struct {
+	Key        Key
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("estimation for %s is circuit-broken; retry in %s", e.Key, e.RetryAfter)
+}
+
+// BreakerStatus is one key's circuit state, exported through /metrics.
+type BreakerStatus struct {
+	Key      string `json:"key"`
+	State    string `json:"state"`
+	Failures int    `json:"failures"` // consecutive failures recorded
+	Opens    int64  `json:"opens"`    // times the circuit has opened
+
+	state breakerState
+}
+
+// breaker is one key's circuit.
+type breaker struct {
+	state    breakerState
+	failures int           // consecutive failures
+	openedAt time.Duration // monotonic instant the circuit last opened
+	probing  bool          // a half-open probe is in flight
+	opens    int64
+	rng      *rand.Rand // seeded jitter source for retry backoff
+}
+
+// breakerSet holds the per-key circuits. All methods are safe for
+// concurrent use.
+type breakerSet struct {
+	mu    sync.Mutex
+	cfg   BreakerConfig
+	seed  int64
+	now   func() time.Duration
+	byKey map[Key]*breaker
+}
+
+func newBreakerSet(cfg BreakerConfig, seed int64, now func() time.Duration) *breakerSet {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &breakerSet{
+		cfg:   cfg.withDefaults(),
+		seed:  seed,
+		now:   now,
+		byKey: make(map[Key]*breaker),
+	}
+}
+
+// get returns the key's circuit, creating a closed one on first use.
+// The caller must hold s.mu.
+func (s *breakerSet) get(k Key) *breaker {
+	b, ok := s.byKey[k]
+	if !ok {
+		h := fnv.New64a()
+		h.Write([]byte(k.String()))
+		b = &breaker{rng: rand.New(rand.NewSource(s.seed ^ int64(h.Sum64())))}
+		s.byKey[k] = b
+	}
+	return b
+}
+
+// allow decides whether a new estimation flight for k may start. It
+// returns nil (admitted; a half-open probe if the circuit was open past
+// its cooldown) or a *BreakerOpenError carrying the remaining cooldown.
+func (s *breakerSet) allow(k Key) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(k)
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		elapsed := s.now() - b.openedAt
+		if elapsed < s.cfg.Cooldown {
+			return &BreakerOpenError{Key: k, RetryAfter: s.cfg.Cooldown - elapsed}
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return &BreakerOpenError{Key: k, RetryAfter: s.cfg.Cooldown}
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// onSuccess records a successful estimation: the circuit closes and the
+// failure run resets.
+func (s *breakerSet) onSuccess(k Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(k)
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// onFailure records one failed estimation attempt and reports whether
+// the circuit is now open (the flight should stop retrying).
+func (s *breakerSet) onFailure(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(k)
+	b.failures++
+	switch {
+	case b.state == breakerHalfOpen:
+		// The probe failed: straight back to open.
+		b.state = breakerOpen
+		b.openedAt = s.now()
+		b.probing = false
+		b.opens++
+	case b.state == breakerClosed && b.failures >= s.cfg.Failures:
+		b.state = breakerOpen
+		b.openedAt = s.now()
+		b.opens++
+	}
+	return b.state == breakerOpen
+}
+
+// backoff returns the delay before retry number n (n >= 1) of a flight
+// for k: exponential in n with deterministic seeded jitter in
+// [0, base/2].
+func (s *breakerSet) backoff(k Key, n int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(k)
+	d := s.cfg.Backoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= s.cfg.MaxBackoff {
+			d = s.cfg.MaxBackoff
+			break
+		}
+	}
+	if d > s.cfg.MaxBackoff {
+		d = s.cfg.MaxBackoff
+	}
+	return d + time.Duration(b.rng.Int63n(int64(d)/2+1))
+}
+
+// states snapshots every circuit, sorted by key string — the
+// deterministic enumeration behind the serve_breaker_state gauge and
+// the JSON metrics report.
+func (s *breakerSet) states() []BreakerStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]BreakerStatus, 0, len(s.byKey))
+	// Collection order is irrelevant: sorted by key immediately below.
+	//lmovet:commutative
+	for k, b := range s.byKey {
+		out = append(out, BreakerStatus{
+			Key:      k.String(),
+			State:    b.state.String(),
+			Failures: b.failures,
+			Opens:    b.opens,
+			state:    b.state,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+)
+
+// TestBreakerStateMachine walks one circuit through every transition
+// with a fake clock: closed → open after the failure run, fast-fail
+// with the remaining cooldown, half-open single probe, probe failure
+// re-opening, probe success closing.
+func TestBreakerStateMachine(t *testing.T) {
+	var clk time.Duration
+	s := newBreakerSet(BreakerConfig{Failures: 2, Cooldown: time.Second}, 1,
+		func() time.Duration { return clk })
+	k := Key{Cluster: "table1", Nodes: 8, Profile: "lam", Seed: 1}
+
+	if err := s.allow(k); err != nil {
+		t.Fatalf("closed circuit must admit: %v", err)
+	}
+	if opened := s.onFailure(k); opened {
+		t.Fatal("one failure must not open a Failures=2 circuit")
+	}
+	if err := s.allow(k); err != nil {
+		t.Fatalf("still closed after one failure: %v", err)
+	}
+	if opened := s.onFailure(k); !opened {
+		t.Fatal("second consecutive failure must open the circuit")
+	}
+
+	clk = 300 * time.Millisecond
+	var open *BreakerOpenError
+	if err := s.allow(k); !errors.As(err, &open) {
+		t.Fatalf("open circuit must fast-fail, got %v", err)
+	} else if open.RetryAfter != 700*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want the remaining cooldown 700ms", open.RetryAfter)
+	}
+
+	// Past the cooldown exactly one half-open probe is admitted.
+	clk = time.Second
+	if err := s.allow(k); err != nil {
+		t.Fatalf("cooldown elapsed, probe must be admitted: %v", err)
+	}
+	if err := s.allow(k); err == nil {
+		t.Fatal("a second concurrent half-open probe must be refused")
+	}
+
+	// The probe fails: straight back to open, cooldown restarts at now.
+	if opened := s.onFailure(k); !opened {
+		t.Fatal("failed probe must re-open the circuit")
+	}
+	if err := s.allow(k); err == nil {
+		t.Fatal("re-opened circuit must fast-fail")
+	}
+
+	// Second probe succeeds: the circuit closes and the run resets.
+	clk = 2 * time.Second
+	if err := s.allow(k); err != nil {
+		t.Fatalf("second probe must be admitted: %v", err)
+	}
+	s.onSuccess(k)
+	st := s.states()
+	if len(st) != 1 || st[0].State != "closed" || st[0].Failures != 0 {
+		t.Fatalf("states after recovery = %+v, want one closed circuit with zero failures", st)
+	}
+	if st[0].Opens != 2 {
+		t.Fatalf("Opens = %d, want 2 (initial trip + failed probe)", st[0].Opens)
+	}
+}
+
+// TestBreakerBackoffDeterministic pins the retry backoff: seeded, so
+// two sets with the same seed produce identical jittered sequences;
+// exponential in the attempt number; capped at MaxBackoff (plus its
+// jitter share).
+func TestBreakerBackoffDeterministic(t *testing.T) {
+	cfg := BreakerConfig{Backoff: 50 * time.Millisecond, MaxBackoff: 400 * time.Millisecond}
+	a := newBreakerSet(cfg, 7, nil)
+	b := newBreakerSet(cfg, 7, nil)
+	k := Key{Cluster: "table1", Nodes: 8, Profile: "lam", Seed: 1}
+
+	base := 50 * time.Millisecond
+	for n := 1; n <= 6; n++ {
+		da, db := a.backoff(k, n), b.backoff(k, n)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", n, da, db)
+		}
+		want := base << (n - 1)
+		if want > 400*time.Millisecond {
+			want = 400 * time.Millisecond
+		}
+		if da < want || da > want+want/2 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", n, da, want, want+want/2)
+		}
+	}
+
+	// A different seed draws a different jitter sequence.
+	c := newBreakerSet(cfg, 8, nil)
+	same := true
+	for n := 1; n <= 6; n++ {
+		if c.backoff(k, n) != b.backoff(k, n) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+// TestBreakerKeysIsolated checks that one key's open circuit does not
+// leak into another's.
+func TestBreakerKeysIsolated(t *testing.T) {
+	s := newBreakerSet(BreakerConfig{Failures: 1}, 1, nil)
+	bad := Key{Cluster: "table1", Nodes: 8, Profile: "mpich", Seed: 1}
+	good := Key{Cluster: "table1", Nodes: 8, Profile: "lam", Seed: 1}
+	s.onFailure(bad)
+	if err := s.allow(bad); err == nil {
+		t.Fatal("bad key's circuit must be open")
+	}
+	if err := s.allow(good); err != nil {
+		t.Fatalf("good key must be unaffected: %v", err)
+	}
+}
+
+// TestRegistrySingleflightConcurrentFailures drives N concurrent
+// requests at a failing key and checks the failure amplification
+// bound: singleflight plus the circuit breaker admit exactly one
+// estimation attempt per breaker window, however many clients pile on.
+func TestRegistrySingleflightConcurrentFailures(t *testing.T) {
+	var clk atomic.Int64
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	k := Key{Cluster: "table1", Nodes: 8, Profile: "lam", Seed: 1}
+	r := NewRegistry(4, func(context.Context, Key) (*models.ModelFile, error) {
+		calls.Add(1)
+		<-gate
+		return nil, fmt.Errorf("injected estimation failure")
+	}, RegistryOptions{
+		Breaker: BreakerConfig{Failures: 1, MaxRetries: 0, Cooldown: time.Second},
+		Now:     func() time.Duration { return time.Duration(clk.Load()) },
+	})
+
+	const n = 16
+	window := func(wantCalls int64, wantRegistered int64) {
+		t.Helper()
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, _, errs[i] = r.GetOrEstimate(context.Background(), k)
+			}(i)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			st := r.Stats()
+			if st.Misses+st.Deduped == wantRegistered {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("requests never registered: %+v", st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		gate <- struct{}{} // release exactly one estimation attempt
+		wg.Wait()
+		for i, err := range errs {
+			if err == nil {
+				t.Fatalf("request %d: want an error on the failing key", i)
+			}
+		}
+		if got := calls.Load(); got != wantCalls {
+			t.Fatalf("estimation attempts = %d, want %d (one per breaker window)", got, wantCalls)
+		}
+	}
+
+	// Window 1: one flight, n-1 joiners, one real attempt; the failure
+	// opens the Failures=1 circuit.
+	window(1, n)
+	if st := r.BreakerStates(); len(st) != 1 || st[0].State != "open" {
+		t.Fatalf("breaker after window 1 = %+v, want open", st)
+	}
+
+	// While open, requests fail fast without estimating.
+	if _, _, err := r.GetOrEstimate(context.Background(), k); err == nil {
+		t.Fatal("open circuit must fast-fail")
+	} else {
+		var open *BreakerOpenError
+		if !errors.As(err, &open) {
+			t.Fatalf("want *BreakerOpenError, got %v", err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fast-fail must not estimate; calls = %d", calls.Load())
+	}
+
+	// Window 2: the cooldown elapses and the half-open probe admits
+	// exactly one more attempt for the whole crowd.
+	clk.Store(int64(time.Second))
+	window(2, 2*n)
+}

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strings"
 
@@ -9,9 +11,62 @@ import (
 	"repro/internal/cluster"
 )
 
+// decodeJSON decodes a request body bounded by Config.MaxBodyBytes,
+// answering 413 with a typed error body for oversized requests and 400
+// for malformed ones. It reports whether the handler should proceed.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpErrorCode(w, http.StatusRequestEntityTooLarge, "oversized",
+				"request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		httpErrorCode(w, http.StatusBadRequest, "bad_json", "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// writeWorkError maps the robustness layer's typed failures to HTTP:
+// load shedding to 429 + Retry-After, an open circuit to 503 +
+// Retry-After, drain to 503, an expired request deadline to 504.
+// Anything else is a 500.
+func (s *Server) writeWorkError(w http.ResponseWriter, endpoint string, err error) {
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		s.metrics.Shed(endpoint)
+		retryAfterHeader(w, shed.RetryAfter)
+		httpErrorCode(w, http.StatusTooManyRequests, "shed", "%v", shed)
+		return
+	}
+	var open *BreakerOpenError
+	if errors.As(err, &open) {
+		retryAfterHeader(w, open.RetryAfter)
+		httpErrorCode(w, http.StatusServiceUnavailable, "breaker_open", "%v", open)
+		return
+	}
+	var draining *DrainingError
+	if errors.As(err, &draining) {
+		httpErrorCode(w, http.StatusServiceUnavailable, "draining", "%v", draining)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		httpErrorCode(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded")
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		httpErrorCode(w, http.StatusServiceUnavailable, "cancelled", "request cancelled")
+		return
+	}
+	httpError(w, http.StatusInternalServerError, "%v", err)
+}
+
 // PredictRequest asks for one collective's predicted time on a
 // platform. A registry miss estimates the platform's models first
-// (deduped across concurrent requests).
+// (deduped across concurrent requests, admission-controlled, and
+// circuit-broken per platform).
 type PredictRequest struct {
 	platformRequest
 	Op   string `json:"op"`   // "scatter" or "gather"
@@ -42,8 +97,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req PredictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	key, _, _, err := req.resolve()
@@ -72,28 +126,45 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	wasCached := false
-	if _, ok := s.reg.Lookup(key); ok {
-		wasCached = true
-	}
-	entry, hit, err := s.reg.GetOrEstimate(key)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+	// Cached platforms answer without touching admission: reads must
+	// keep flowing whatever the estimation backlog looks like.
+	if entry, ok := s.reg.LookupHit(key); ok {
+		s.writePrediction(w, req, alg, key, entry, "hit")
 		return
 	}
+
+	// A registry miss is estimation work: refuse during drain, then
+	// pass through admission control before occupying a worker.
+	if s.draining.Load() {
+		s.writeWorkError(w, "predict", &DrainingError{})
+		return
+	}
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		s.writeWorkError(w, "predict", err)
+		return
+	}
+	defer release()
+	entry, hit, err := s.reg.GetOrEstimate(r.Context(), key)
+	if err != nil {
+		s.writeWorkError(w, "predict", err)
+		return
+	}
+	cache := "estimated"
+	if hit {
+		// A concurrent estimation landed between the lookup above and
+		// GetOrEstimate: this request rode someone else's work.
+		cache = "joined"
+	}
+	s.writePrediction(w, req, alg, key, entry, cache)
+}
+
+// writePrediction renders the prediction response for a resolved entry.
+func (s *Server) writePrediction(w http.ResponseWriter, req PredictRequest, alg string, key Key, entry *Entry, cache string) {
 	resp := PredictResponse{
-		Key: key.String(), Op: req.Op, Alg: alg,
+		Key: key.String(), Op: req.Op, Alg: alg, Cache: cache,
 		M: req.M, Nodes: key.Nodes, Root: req.Root,
 		Predictions: predictAll(entry, req.Op, alg, req.Root, key.Nodes, req.M),
-	}
-	switch {
-	case hit:
-		resp.Cache = "hit"
-	case wasCached:
-		// Lost a race with an eviction or concurrent estimation.
-		resp.Cache = "joined"
-	default:
-		resp.Cache = "estimated"
 	}
 	if req.Op == "gather" && alg == "linear" && entry.LMO != nil && entry.LMO.Gather.Valid() {
 		lo, hi := entry.LMO.GatherLinearBand(req.Root, key.Nodes, req.M)
@@ -174,8 +245,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req EstimateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	key, spec, prof, err := req.resolve()
@@ -204,6 +274,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if parallel <= 0 {
 		parallel = s.cfg.Parallel
 	}
+	if s.draining.Load() {
+		s.writeWorkError(w, "estimate", &DrainingError{})
+		return
+	}
 
 	g := campaign.Grid{
 		Seeds:    seeds,
@@ -215,11 +289,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Cluster: key.Cluster, Nodes: key.Nodes, Profile: key.Profile,
 		Seeds: seeds, Estimator: estimator, Parallel: parallel,
 	}
-	s.jobs.Start(job, func(st *campaign.Stats) (*campaign.Outcome, []Key, error) {
+	snap, err := s.jobs.Start(job, func(st *campaign.Stats) (*campaign.Outcome, []Key, error) {
 		out, err := campaign.Run(s.ctx, g, campaign.Options{
 			Parallel:    parallel,
 			TaskTimeout: s.cfg.TaskTimeout,
 			Stats:       st,
+			RunTask:     s.cfg.taskHook,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -236,7 +311,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		return out, keys, nil
 	})
-	writeJSON(w, http.StatusAccepted, job.snapshot())
+	if err != nil {
+		s.writeWorkError(w, "estimate", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, snap)
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -247,7 +326,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/jobs")
 	id = strings.TrimPrefix(id, "/")
 	if id == "" {
-		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+		payload := map[string]any{"jobs": s.jobs.List()}
+		if len(s.interrupted) > 0 {
+			payload["interrupted"] = s.interrupted
+		}
+		writeJSON(w, http.StatusOK, payload)
 		return
 	}
 	job, ok := s.jobs.Get(id)
@@ -302,10 +385,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// /metrics); the structured JSON report on request.
 	format := r.URL.Query().Get("format")
 	if format == "json" || (format == "" && strings.Contains(r.Header.Get("Accept"), "application/json")) {
-		writeJSON(w, http.StatusOK, s.metrics.Report(s.reg, s.jobs))
+		writeJSON(w, http.StatusOK, s.metrics.Report(s.reg, s.jobs, s.adm, s.draining.Load()))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	s.metrics.WritePrometheus(w, s.reg, s.jobs)
+	s.metrics.WritePrometheus(w, s.reg, s.jobs, s.adm, s.draining.Load())
 }

@@ -1,5 +1,10 @@
 package serve
 
+// Metrics is one of the serve package's approved wall-clock files (see
+// internal/analysis/policy.go): it timestamps uptime and request
+// latencies. Everything it renders is otherwise a deterministic
+// function of the service's counters.
+
 import (
 	"io"
 	"time"
@@ -27,6 +32,8 @@ type Metrics struct {
 	requests *obs.CounterVec
 	errors   *obs.CounterVec
 	duration *obs.HistogramVec
+	shed     *obs.CounterVec // serve_shed_total: load-shed requests
+	panics   *obs.CounterVec // serve_panics_total: recovered handler panics
 
 	// Gauges refreshed from the live service parts at render time.
 	uptime       *obs.GaugeVec
@@ -34,15 +41,24 @@ type Metrics struct {
 	cacheHits    *obs.GaugeVec
 	cacheMisses  *obs.GaugeVec
 	evictions    *obs.GaugeVec
+	retries      *obs.GaugeVec
+	rejected     *obs.GaugeVec
+	breakerState *obs.GaugeVec
+	breakerOpens *obs.GaugeVec
 	workers      *obs.GaugeVec
 	busyWorkers  *obs.GaugeVec
 	runningJobs  *obs.GaugeVec
+	liveJobs     *obs.GaugeVec
+	taskPanics   *obs.GaugeVec
+	queueDepth   *obs.GaugeVec
+	inflight     *obs.GaugeVec
+	draining     *obs.GaugeVec
 }
 
 // NewMetrics builds an empty metrics table.
 func NewMetrics() *Metrics {
 	reg := obs.NewRegistry()
-	return &Metrics{
+	m := &Metrics{
 		start: time.Now(),
 		reg:   reg,
 		requests: reg.Counter("lmoserve_requests_total",
@@ -51,6 +67,10 @@ func NewMetrics() *Metrics {
 			"responses with status >= 400, by endpoint", "endpoint"),
 		duration: reg.Histogram("lmoserve_request_seconds",
 			"request latency in seconds, by endpoint", obs.DefBuckets, "endpoint"),
+		shed: reg.Counter("serve_shed_total",
+			"requests refused by admission control (429), by endpoint", "endpoint"),
+		panics: reg.Counter("serve_panics_total",
+			"handler panics converted to 500 by the recovery middleware"),
 		uptime: reg.Gauge("lmoserve_uptime_seconds",
 			"seconds since the service started"),
 		cacheEntries: reg.Gauge("lmoserve_cache_entries",
@@ -61,13 +81,37 @@ func NewMetrics() *Metrics {
 			"model registry lookups that triggered an estimation"),
 		evictions: reg.Gauge("lmoserve_cache_evictions_total",
 			"model registry entries dropped by the LRU bound"),
+		retries: reg.Gauge("lmoserve_estimate_retries_total",
+			"extra estimation attempts after a failed one"),
+		rejected: reg.Gauge("lmoserve_breaker_rejected_total",
+			"estimation lookups fast-failed by an open circuit"),
+		breakerState: reg.Gauge("serve_breaker_state",
+			"estimation circuit state per platform key (0 closed, 1 half-open, 2 open)", "key"),
+		breakerOpens: reg.Gauge("serve_breaker_opens_total",
+			"times the platform key's circuit has opened", "key"),
 		workers: reg.Gauge("lmoserve_campaign_workers",
 			"campaign workers across running estimation jobs"),
 		busyWorkers: reg.Gauge("lmoserve_campaign_busy_workers",
 			"campaign workers currently executing a task"),
 		runningJobs: reg.Gauge("lmoserve_campaign_running_jobs",
 			"estimation jobs in the running state"),
+		liveJobs: reg.Gauge("serve_jobs_live",
+			"jobs retained in the job table (bounded by TTL/LRU eviction)"),
+		taskPanics: reg.Gauge("serve_task_panics_total",
+			"campaign task panics captured across retained jobs"),
+		queueDepth: reg.Gauge("serve_queue_depth",
+			"requests waiting for an estimation slot"),
+		inflight: reg.Gauge("serve_inflight_estimations",
+			"estimation slots currently claimed"),
+		draining: reg.Gauge("serve_draining",
+			"1 while the server is draining, else 0"),
 	}
+	// Seed the robustness counters so they are visible in /metrics
+	// before the first shed or panic.
+	m.panics.Add(0)
+	m.shed.Add(0, "predict")
+	m.shed.Add(0, "estimate")
+	return m
 }
 
 // Observe records one request.
@@ -78,6 +122,18 @@ func (m *Metrics) Observe(endpoint string, status int, took time.Duration) {
 	}
 	m.duration.Observe(took.Seconds(), endpoint)
 }
+
+// Shed records one load-shed request.
+func (m *Metrics) Shed(endpoint string) { m.shed.Add(1, endpoint) }
+
+// ShedCount reads the shed counter for an endpoint.
+func (m *Metrics) ShedCount(endpoint string) int64 { return int64(m.shed.Value(endpoint)) }
+
+// Panic records one recovered handler panic.
+func (m *Metrics) Panic() { m.panics.Add(1) }
+
+// PanicCount reads the recovered-panic counter.
+func (m *Metrics) PanicCount() int64 { return int64(m.panics.Value()) }
 
 // EndpointReport is one endpoint's stats in the ordered rendering of
 // the metrics payload.
@@ -91,10 +147,30 @@ type EndpointReport struct {
 // stable rendering; Requests keeps the keyed form for lookups.
 type MetricsReport struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Draining      bool                     `json:"draining"`
 	Endpoints     []EndpointReport         `json:"endpoints"`
 	Requests      map[string]endpointStats `json:"requests"`
 	Cache         CacheStats               `json:"cache"`
 	CacheEntries  int                      `json:"cache_entries"`
+	// Shed counts admission-control refusals by endpoint; Panics
+	// counts recovered handler panics.
+	Shed   map[string]int64 `json:"shed,omitempty"`
+	Panics int64            `json:"panics"`
+	// Breakers lists the per-key estimation circuit states, sorted by
+	// key.
+	Breakers []BreakerStatus `json:"breakers,omitempty"`
+	// Admission is the live state of the estimation slot pool.
+	Admission struct {
+		InFlight   int64 `json:"in_flight"`
+		QueueDepth int64 `json:"queue_depth"`
+		Shed       int64 `json:"shed"`
+	} `json:"admission"`
+	// Jobs is the job table's occupancy.
+	Jobs struct {
+		Live       int   `json:"live"`
+		Running    int   `json:"running"`
+		TaskPanics int64 `json:"task_panics"`
+	} `json:"jobs"`
 	// Campaign worker utilization across the running estimation jobs.
 	Campaign struct {
 		RunningJobs int     `json:"running_jobs"`
@@ -123,9 +199,11 @@ func (m *Metrics) endpointReport(name string) endpointStats {
 // Report assembles the metrics payload from the service's parts. The
 // registry's series are held in sorted label order, so the payload is
 // byte-stable across renders: no map iteration order can leak in.
-func (m *Metrics) Report(reg *Registry, jobs *Jobs) MetricsReport {
+// adm may be nil (tests exercising Metrics in isolation).
+func (m *Metrics) Report(reg *Registry, jobs *Jobs, adm *admission, draining bool) MetricsReport {
 	var rep MetricsReport
 	rep.UptimeSeconds = time.Since(m.start).Seconds()
+	rep.Draining = draining
 	sets := m.duration.LabelSets()
 	rep.Endpoints = make([]EndpointReport, 0, len(sets))
 	rep.Requests = make(map[string]endpointStats, len(sets))
@@ -138,39 +216,60 @@ func (m *Metrics) Report(reg *Registry, jobs *Jobs) MetricsReport {
 
 	rep.Cache = reg.Stats()
 	rep.CacheEntries = reg.Len()
+	rep.Shed = map[string]int64{}
+	for _, labels := range m.shed.LabelSets() {
+		rep.Shed[labels[0]] = int64(m.shed.Value(labels...))
+	}
+	rep.Panics = m.PanicCount()
+	rep.Breakers = reg.BreakerStates()
+	if adm != nil {
+		rep.Admission.InFlight = adm.InFlight()
+		rep.Admission.QueueDepth = adm.Depth()
+		rep.Admission.Shed = adm.Shed()
+	}
+	rep.Jobs.Live = jobs.Len()
+	rep.Jobs.Running = jobs.RunningCount()
+	rep.Jobs.TaskPanics = jobs.TaskPanics()
 	busy, workers := jobs.Utilization()
 	rep.Campaign.BusyWorkers = busy
 	rep.Campaign.Workers = workers
 	if workers > 0 {
 		rep.Campaign.Utilization = float64(busy) / float64(workers)
 	}
-	for _, j := range jobs.List() {
-		if j.State == JobRunning {
-			rep.Campaign.RunningJobs++
-		}
-	}
+	rep.Campaign.RunningJobs = jobs.RunningCount()
 	return rep
 }
 
 // WritePrometheus renders the Prometheus text exposition of the same
 // state the JSON report exposes, refreshing the derived gauges from
-// the live service parts first.
-func (m *Metrics) WritePrometheus(w io.Writer, reg *Registry, jobs *Jobs) error {
+// the live service parts first. adm may be nil.
+func (m *Metrics) WritePrometheus(w io.Writer, reg *Registry, jobs *Jobs, adm *admission, draining bool) error {
 	m.uptime.Set(time.Since(m.start).Seconds())
 	cs := reg.Stats()
 	m.cacheEntries.Set(float64(reg.Len()))
 	m.cacheHits.Set(float64(cs.Hits))
 	m.cacheMisses.Set(float64(cs.Misses))
 	m.evictions.Set(float64(cs.Evictions))
+	m.retries.Set(float64(cs.Retries))
+	m.rejected.Set(float64(cs.Rejected))
+	for _, b := range reg.BreakerStates() {
+		m.breakerState.Set(b.state.gaugeValue(), b.Key)
+		m.breakerOpens.Set(float64(b.Opens), b.Key)
+	}
 	busy, workers := jobs.Utilization()
 	m.workers.Set(float64(workers))
 	m.busyWorkers.Set(float64(busy))
-	running := 0
-	for _, j := range jobs.List() {
-		if j.State == JobRunning {
-			running++
-		}
+	m.runningJobs.Set(float64(jobs.RunningCount()))
+	m.liveJobs.Set(float64(jobs.Len()))
+	m.taskPanics.Set(float64(jobs.TaskPanics()))
+	if adm != nil {
+		m.queueDepth.Set(float64(adm.Depth()))
+		m.inflight.Set(float64(adm.InFlight()))
 	}
-	m.runningJobs.Set(float64(running))
+	if draining {
+		m.draining.Set(1)
+	} else {
+		m.draining.Set(0)
+	}
 	return m.reg.WritePrometheus(w)
 }

@@ -20,10 +20,10 @@ func TestMetricsReportStableOrder(t *testing.T) {
 	sorted := append([]string(nil), names...)
 	sort.Strings(sorted)
 
-	reg := NewRegistry(4, nil)
-	jobs := NewJobs()
+	reg := NewRegistry(4, nil, RegistryOptions{})
+	jobs := NewJobs(JobsConfig{})
 	render := func() []byte {
-		rep := m.Report(reg, jobs)
+		rep := m.Report(reg, jobs, nil, false)
 		if len(rep.Endpoints) != len(sorted) {
 			t.Fatalf("Endpoints has %d entries, want %d", len(rep.Endpoints), len(sorted))
 		}
@@ -49,7 +49,7 @@ func TestMetricsReportStableOrder(t *testing.T) {
 		}
 	}
 	var errStats endpointStats
-	for _, ep := range m.Report(reg, jobs).Endpoints {
+	for _, ep := range m.Report(reg, jobs, nil, false).Endpoints {
 		if ep.Name == "predict" {
 			errStats = ep.endpointStats
 		}

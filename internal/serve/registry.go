@@ -1,14 +1,18 @@
 // Package serve implements the lmoserve prediction service: an
 // in-memory registry of estimated models (LRU-bounded, singleflight-
-// deduped), asynchronous estimation jobs backed by the campaign
-// engine, and the HTTP API over both — the estimate-once / predict-
-// many workflow of the paper's companion tool, as a service.
+// deduped, circuit-broken), asynchronous estimation jobs backed by the
+// campaign engine, and the HTTP API over both — the estimate-once /
+// predict-many workflow of the paper's companion tool, as a service
+// hardened for production traffic (admission control, load shedding,
+// graceful drain; see DESIGN.md §10).
 package serve
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/models"
 )
@@ -73,8 +77,10 @@ type CacheStats struct {
 	Hits        int64 `json:"hits"`        // lookups answered from the cache
 	Misses      int64 `json:"misses"`      // lookups that triggered an estimation
 	Deduped     int64 `json:"deduped"`     // lookups that joined an in-flight estimation
-	Estimations int64 `json:"estimations"` // estimations actually performed
+	Estimations int64 `json:"estimations"` // estimation flights actually started
 	Evictions   int64 `json:"evictions"`   // entries dropped by the LRU bound
+	Retries     int64 `json:"retries"`     // extra estimation attempts after a failure
+	Rejected    int64 `json:"rejected"`    // lookups fast-failed by an open circuit
 }
 
 // flight is one in-progress estimation shared by every concurrent
@@ -85,9 +91,28 @@ type flight struct {
 	err   error
 }
 
+// RegistryOptions parameterize the registry's robustness machinery.
+// The zero value works: the breaker uses its defaults, and the clock
+// and sleep hooks degrade to a frozen clock and an instant (skip)
+// sleep — the server wires real ones in its wall-clock-approved files,
+// tests wire fakes.
+type RegistryOptions struct {
+	// Breaker configures the per-key estimation circuit breakers.
+	Breaker BreakerConfig
+	// Seed seeds the deterministic retry-backoff jitter (default 1).
+	Seed int64
+	// Now reads a monotonic clock for breaker cooldowns.
+	Now func() time.Duration
+	// Sleep waits d before a retry, returning false if ctx expired
+	// first.
+	Sleep func(ctx context.Context, d time.Duration) bool
+}
+
 // Registry is the LRU-bounded, singleflight-deduped model store.
 // Concurrent GetOrEstimate calls for the same un-estimated key run one
-// estimation; the others wait for it.
+// estimation; the others wait for it. A per-key circuit breaker guards
+// the estimation path: consecutive failures open the circuit and
+// subsequent lookups fail fast until a cooldown admits a probe.
 type Registry struct {
 	mu      sync.Mutex
 	cap     int
@@ -96,22 +121,34 @@ type Registry struct {
 	flights map[Key]*flight
 	stats   CacheStats
 
+	breakers *breakerSet
+	sleep    func(ctx context.Context, d time.Duration) bool
+	retries  int
+
 	// estimate produces the models for a missing key (injected by the
 	// server; tests substitute it).
-	estimate func(Key) (*models.ModelFile, error)
+	estimate func(context.Context, Key) (*models.ModelFile, error)
 }
 
 // NewRegistry builds a registry bounded to capacity entries (minimum
 // 1) over the given estimator.
-func NewRegistry(capacity int, estimate func(Key) (*models.ModelFile, error)) *Registry {
+func NewRegistry(capacity int, estimate func(context.Context, Key) (*models.ModelFile, error), opt RegistryOptions) *Registry {
 	if capacity < 1 {
 		capacity = 1
 	}
+	sleep := opt.Sleep
+	if sleep == nil {
+		sleep = func(ctx context.Context, d time.Duration) bool { return ctx.Err() == nil }
+	}
+	cfg := opt.Breaker.withDefaults()
 	return &Registry{
 		cap:      capacity,
 		order:    list.New(),
 		entries:  make(map[Key]*list.Element),
 		flights:  make(map[Key]*flight),
+		breakers: newBreakerSet(cfg, opt.Seed, opt.Now),
+		sleep:    sleep,
+		retries:  cfg.MaxRetries,
 		estimate: estimate,
 	}
 }
@@ -155,10 +192,26 @@ func (r *Registry) Lookup(k Key) (*Entry, bool) {
 	return nil, false
 }
 
+// LookupHit is Lookup counting a cache hit — the /predict fast path,
+// which must not touch admission control or the estimation machinery.
+func (r *Registry) LookupHit(k Key) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.entries[k]; ok {
+		r.order.MoveToFront(el)
+		r.stats.Hits++
+		return el.Value.(*Entry), true
+	}
+	return nil, false
+}
+
 // GetOrEstimate returns the entry for k, estimating it when absent.
 // The boolean reports a cache hit. Concurrent calls for the same
-// missing key share one estimation.
-func (r *Registry) GetOrEstimate(k Key) (*Entry, bool, error) {
+// missing key share one estimation; a joiner whose context expires
+// stops waiting and returns the context error. When k's circuit is
+// open the call fails fast with a *BreakerOpenError and no estimation
+// is attempted.
+func (r *Registry) GetOrEstimate(ctx context.Context, k Key) (*Entry, bool, error) {
 	r.mu.Lock()
 	if el, ok := r.entries[k]; ok {
 		r.order.MoveToFront(el)
@@ -169,8 +222,17 @@ func (r *Registry) GetOrEstimate(k Key) (*Entry, bool, error) {
 	if f, ok := r.flights[k]; ok {
 		r.stats.Deduped++
 		r.mu.Unlock()
-		<-f.done
-		return f.entry, false, f.err
+		select {
+		case <-f.done:
+			return f.entry, false, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	if err := r.breakers.allow(k); err != nil {
+		r.stats.Rejected++
+		r.mu.Unlock()
+		return nil, false, err
 	}
 	f := &flight{done: make(chan struct{})}
 	r.flights[k] = f
@@ -178,7 +240,7 @@ func (r *Registry) GetOrEstimate(k Key) (*Entry, bool, error) {
 	r.stats.Estimations++
 	r.mu.Unlock()
 
-	mf, err := r.estimate(k)
+	mf, err := r.runEstimate(ctx, k)
 	var entry *Entry
 	if err == nil {
 		entry, err = newEntry(mf)
@@ -197,6 +259,40 @@ func (r *Registry) GetOrEstimate(k Key) (*Entry, bool, error) {
 	close(f.done)
 	return entry, false, err
 }
+
+// runEstimate is one flight's attempt loop: estimate, and on failure
+// retry with exponential backoff and deterministic seeded jitter until
+// the retry budget is spent, the circuit opens, or the context
+// expires. Breaker accounting happens per attempt.
+func (r *Registry) runEstimate(ctx context.Context, k Key) (*models.ModelFile, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.retries; attempt++ {
+		if attempt > 0 {
+			r.mu.Lock()
+			r.stats.Retries++
+			r.mu.Unlock()
+			if !r.sleep(ctx, r.breakers.backoff(k, attempt)) {
+				return nil, ctx.Err()
+			}
+		}
+		mf, err := r.estimate(ctx, k)
+		if err == nil {
+			r.breakers.onSuccess(k)
+			return mf, nil
+		}
+		lastErr = err
+		if opened := r.breakers.onFailure(k); opened {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// BreakerStates snapshots the per-key circuit breakers, sorted by key.
+func (r *Registry) BreakerStates() []BreakerStatus { return r.breakers.states() }
 
 // Keys lists the cached keys, most recently used first.
 func (r *Registry) Keys() []Key {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
@@ -23,56 +24,193 @@ type Config struct {
 	// TaskTimeout bounds each estimation task's wall-clock time
 	// (default 5 minutes).
 	TaskTimeout time.Duration
+	// RequestTimeout is the per-request deadline, propagated as a
+	// context through admission queueing and synchronous estimation
+	// into campaign tasks (default 5 minutes; <0 disables).
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds concurrent synchronous estimations — the
+	// /predict miss path (default 4).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an estimation slot; beyond
+	// it requests are shed with 429 (default 16).
+	MaxQueue int
+	// RetryAfter is the hint attached to shed responses (default 1s).
+	RetryAfter time.Duration
+	// MaxRunningJobs bounds concurrent /estimate campaigns; beyond it
+	// jobs are shed with 429 (default 4).
+	MaxRunningJobs int
+	// MaxJobs bounds the job table; terminal jobs are evicted
+	// oldest-first beyond it (default 256).
+	MaxJobs int
+	// JobTTL evicts terminal jobs this long after completion
+	// (default 1h; <0 disables).
+	JobTTL time.Duration
+	// MaxBodyBytes caps request bodies; larger ones get 413
+	// (default 1 MiB).
+	MaxBodyBytes int64
+	// Breaker configures the per-key estimation circuit breakers.
+	Breaker BreakerConfig
+	// Seed seeds the deterministic retry-backoff jitter (default 1).
+	Seed int64
+	// ManifestPath, when set, is where a drain that misses its
+	// deadline persists the unfinished-job manifest, and where startup
+	// looks for one left by a previous process.
+	ManifestPath string
 	// Preload seeds the registry with model files (from
 	// cmd/estimate -json); each must carry provenance metadata.
 	Preload []*models.ModelFile
+
+	// now and sleep, when set, replace the real clock and retry sleep —
+	// the chaos suite's determinism hooks.
+	now   func() time.Duration
+	sleep func(context.Context, time.Duration) bool
+	// taskHook, when set, replaces the campaign task executor for
+	// every campaign the server runs (fault injection in tests).
+	taskHook func(campaign.Grid, campaign.Task) campaign.Result
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 64
+	}
+	if c.TaskTimeout <= 0 {
+		c.TaskTimeout = 5 * time.Minute
+	}
+	switch {
+	case c.RequestTimeout < 0:
+		c.RequestTimeout = 0
+	case c.RequestTimeout == 0:
+		c.RequestTimeout = 5 * time.Minute
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 16
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxRunningJobs <= 0 {
+		c.MaxRunningJobs = 4
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	switch {
+	case c.JobTTL < 0:
+		c.JobTTL = 0
+	case c.JobTTL == 0:
+		c.JobTTL = time.Hour
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
 }
 
 // Server is the lmoserve HTTP service.
 type Server struct {
-	ctx     context.Context
-	reg     *Registry
-	jobs    *Jobs
-	metrics *Metrics
-	mux     *http.ServeMux
-	cfg     Config
+	ctx         context.Context
+	cancel      context.CancelFunc
+	reg         *Registry
+	jobs        *Jobs
+	adm         *admission
+	metrics     *Metrics
+	mux         *http.ServeMux
+	cfg         Config
+	draining    atomic.Bool
+	interrupted []Job
 }
 
 // New builds the service; ctx bounds the lifetime of background
-// estimation jobs.
+// estimation jobs (Shutdown cancels the derived server context).
 func New(ctx context.Context, cfg Config) (*Server, error) {
-	if cfg.Capacity <= 0 {
-		cfg.Capacity = 64
-	}
-	if cfg.TaskTimeout <= 0 {
-		cfg.TaskTimeout = 5 * time.Minute
-	}
+	cfg = cfg.withDefaults()
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	now := cfg.now
+	if now == nil {
+		now = realNow()
+	}
+	sleep := cfg.sleep
+	if sleep == nil {
+		sleep = realSleep
+	}
+	sctx, cancel := context.WithCancel(ctx)
 	s := &Server{
-		ctx:     ctx,
-		jobs:    NewJobs(),
+		ctx:    sctx,
+		cancel: cancel,
+		jobs: NewJobs(JobsConfig{
+			MaxRunning: cfg.MaxRunningJobs,
+			MaxJobs:    cfg.MaxJobs,
+			TTL:        cfg.JobTTL,
+			Now:        now,
+			RetryAfter: cfg.RetryAfter,
+		}),
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.RetryAfter),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 		cfg:     cfg,
 	}
-	s.reg = NewRegistry(cfg.Capacity, s.estimateKey)
+	s.reg = NewRegistry(cfg.Capacity, s.estimateKey, RegistryOptions{
+		Breaker: cfg.Breaker,
+		Seed:    cfg.Seed,
+		Now:     now,
+		Sleep:   sleep,
+	})
 	for _, mf := range cfg.Preload {
 		if _, err := s.reg.Put(mf); err != nil {
+			cancel()
 			return nil, fmt.Errorf("serve: preloading models: %w", err)
 		}
 	}
-	s.mux.HandleFunc("/predict", s.instrument("predict", s.handlePredict))
-	s.mux.HandleFunc("/estimate", s.instrument("estimate", s.handleEstimate))
-	s.mux.HandleFunc("/jobs", s.instrument("jobs", s.handleJobs))
-	s.mux.HandleFunc("/jobs/", s.instrument("jobs", s.handleJobs))
-	s.mux.HandleFunc("/models", s.instrument("models", s.handleModels))
-	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
-	s.mux.HandleFunc("/healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	}))
+	if cfg.ManifestPath != "" {
+		m, err := ReadManifest(cfg.ManifestPath)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		if m != nil {
+			s.interrupted = m.Jobs
+		}
+	}
+	s.handle("/predict", "predict", s.withTimeout(s.handlePredict))
+	s.handle("/estimate", "estimate", s.withTimeout(s.handleEstimate))
+	s.handle("/jobs", "jobs", s.handleJobs)
+	s.handle("/jobs/", "jobs", s.handleJobs)
+	s.handle("/models", "models", s.handleModels)
+	s.handle("/metrics", "metrics", s.handleMetrics)
+	s.handle("/healthz", "healthz", s.handleHealthz)
+	s.handle("/readyz", "readyz", s.handleReadyz)
 	return s, nil
+}
+
+// handle registers the full middleware chain for one endpoint:
+// instrumentation outermost (so panics are recorded with their 500s),
+// then panic recovery, then the handler.
+func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(name, s.recovered(h)))
+}
+
+// withTimeout applies the per-request deadline; the derived context
+// flows through admission queueing, singleflight waits and campaign
+// task execution.
+func (s *Server) withTimeout(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.RequestTimeout <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -81,15 +219,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Registry exposes the model store (for preloading and tests).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// statusRecorder captures the response status for metrics.
+// statusRecorder captures the response status for metrics and whether
+// anything was written (so panic recovery knows if a 500 can still be
+// sent).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (sr *statusRecorder) WriteHeader(code int) {
 	sr.status = code
+	sr.wrote = true
 	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(b)
 }
 
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
@@ -109,8 +256,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// errorBody is the typed error payload of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// httpErrorCode writes a typed error body with a machine-readable code.
+func httpErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// retryAfterHeader sets Retry-After, rounding the hint up to whole
+// seconds (minimum 1).
+func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 }
 
 // platformRequest selects the simulated platform a request refers to.
@@ -187,8 +355,9 @@ func keyPlatform(k Key) (platformRequest, error) {
 
 // estimateKey is the registry's miss path: estimate every model family
 // for the key's platform in a one-task campaign (panic capture and
-// task timeout included).
-func (s *Server) estimateKey(k Key) (*models.ModelFile, error) {
+// task timeout included). The caller's context — carrying the
+// per-request deadline — bounds the campaign end to end.
+func (s *Server) estimateKey(ctx context.Context, k Key) (*models.ModelFile, error) {
 	preq, err := keyPlatform(k)
 	if err != nil {
 		return nil, err
@@ -203,7 +372,11 @@ func (s *Server) estimateKey(k Key) (*models.ModelFile, error) {
 		Clusters: []campaign.ClusterSpec{spec},
 		Targets:  []campaign.Target{{Kind: campaign.Estimator, ID: "all"}},
 	}
-	out, err := campaign.Run(s.ctx, g, campaign.Options{Parallel: 1, TaskTimeout: s.cfg.TaskTimeout})
+	out, err := campaign.Run(ctx, g, campaign.Options{
+		Parallel:    1,
+		TaskTimeout: s.cfg.TaskTimeout,
+		RunTask:     s.cfg.taskHook,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -24,7 +24,7 @@ func fakeFile(k Key) *models.ModelFile {
 }
 
 func TestRegistryLRUEviction(t *testing.T) {
-	r := NewRegistry(2, nil)
+	r := NewRegistry(2, nil, RegistryOptions{})
 	k := func(seed int64) Key { return Key{Cluster: "table1", Nodes: 8, Profile: "lam", Seed: seed} }
 	for seed := int64(1); seed <= 3; seed++ {
 		if _, err := r.Put(fakeFile(k(seed))); err != nil {
@@ -64,13 +64,13 @@ func TestRegistrySingleflight(t *testing.T) {
 	var calls int
 	var mu sync.Mutex
 	k := Key{Cluster: "table1", Nodes: 8, Profile: "lam", Seed: 7}
-	r := NewRegistry(4, func(key Key) (*models.ModelFile, error) {
+	r := NewRegistry(4, func(_ context.Context, key Key) (*models.ModelFile, error) {
 		mu.Lock()
 		calls++
 		mu.Unlock()
 		<-release
 		return fakeFile(key), nil
-	})
+	}, RegistryOptions{})
 
 	const n = 8
 	var wg sync.WaitGroup
@@ -79,7 +79,7 @@ func TestRegistrySingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, errs[i] = r.GetOrEstimate(k)
+			_, _, errs[i] = r.GetOrEstimate(context.Background(), k)
 		}(i)
 	}
 	// Let every request either claim or join the flight, then release.
@@ -109,29 +109,29 @@ func TestRegistrySingleflight(t *testing.T) {
 		t.Fatalf("Deduped = %d, want %d", st.Deduped, n-1)
 	}
 	// Subsequent call is a plain hit.
-	if _, hit, err := r.GetOrEstimate(k); err != nil || !hit {
+	if _, hit, err := r.GetOrEstimate(context.Background(), k); err != nil || !hit {
 		t.Fatalf("expected cache hit after flight, hit=%v err=%v", hit, err)
 	}
 }
 
 func TestRegistryEstimateError(t *testing.T) {
 	boom := fmt.Errorf("simulated estimation failure")
-	r := NewRegistry(4, func(Key) (*models.ModelFile, error) { return nil, boom })
+	r := NewRegistry(4, func(context.Context, Key) (*models.ModelFile, error) { return nil, boom }, RegistryOptions{})
 	k := Key{Cluster: "table1", Nodes: 8, Profile: "lam", Seed: 1}
-	if _, _, err := r.GetOrEstimate(k); err == nil {
+	if _, _, err := r.GetOrEstimate(context.Background(), k); err == nil {
 		t.Fatal("want estimation error")
 	}
 	if r.Len() != 0 {
 		t.Fatal("failed estimation must not cache an entry")
 	}
 	// A failed flight must not wedge future requests.
-	if _, _, err := r.GetOrEstimate(k); err == nil {
+	if _, _, err := r.GetOrEstimate(context.Background(), k); err == nil {
 		t.Fatal("want estimation error on retry too")
 	}
 }
 
 func TestPutRejectsMissingMeta(t *testing.T) {
-	r := NewRegistry(4, nil)
+	r := NewRegistry(4, nil, RegistryOptions{})
 	mf := models.NewModelFile(&models.Hockney{Alpha: 1, Beta: 1}, nil, nil, nil, nil, nil)
 	if _, err := r.Put(mf); err == nil {
 		t.Fatal("Put must reject a model file without provenance meta")
@@ -387,9 +387,12 @@ func TestJobsEndpoint(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	_, ts := testServer(t, Config{})
-	var out map[string]string
-	if status := getJSON(t, ts.URL+"/healthz", &out); status != http.StatusOK || out["status"] != "ok" {
-		t.Fatalf("healthz: status %d body %v", status, out)
+	var out healthState
+	if status := getJSON(t, ts.URL+"/healthz", &out); status != http.StatusOK || out.Status != "ok" {
+		t.Fatalf("healthz: status %d body %+v", status, out)
+	}
+	if out.Draining {
+		t.Fatal("fresh server must not report draining")
 	}
 }
 
