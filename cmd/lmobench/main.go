@@ -41,6 +41,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/textplot"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		hetLink  = flag.Bool("hetlinks", false, "use per-pair link variation (Table1Hetero)")
 		clPath   = flag.String("cluster", "", "JSON cluster description to use instead of Table I")
+		topoSpec = flag.String("topo", "", "homogeneous multi-switch cluster from a topology spec (single:N, twotier:RxP, fattree:K, multicluster:SxP) instead of Table I")
 		seeds    = flag.Int("seeds", 1, "sweep this many consecutive seeds (starting at -seed) as a campaign and report mean ± CI")
 		parallel = flag.Int("parallel", 0, "campaign worker count for -seeds sweeps (0: GOMAXPROCS)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
@@ -119,6 +121,14 @@ func main() {
 		}
 		cfg.Cluster = cl
 	}
+	if *topoSpec != "" {
+		t, err := topo.ParseSpec(*topoSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Cluster = cluster.FromTopology(t, cluster.NodeSpec{}, cluster.LinkSpec{})
+	}
 	switch *mpiName {
 	case "lam":
 		cfg.Profile = cluster.LAM()
@@ -148,6 +158,9 @@ func main() {
 		}
 		if *clPath != "" {
 			clusterName = *clPath
+		}
+		if *topoSpec != "" {
+			clusterName = *topoSpec
 		}
 		runCampaign(cfg, runners, clusterName, *seed, *seeds, *parallel, *gantt)
 		return

@@ -15,18 +15,20 @@ import (
 	"repro/internal/models"
 	"repro/internal/mpi"
 	"repro/internal/textplot"
+	"repro/internal/topo"
 )
 
 func main() {
 	var (
-		opName  = flag.String("op", "scatter", "collective: scatter or gather")
-		algName = flag.String("alg", "linear", "algorithm: linear or binomial")
-		size    = flag.Int("m", 64<<10, "block size in bytes")
-		root    = flag.Int("root", 0, "root rank")
-		mpiName = flag.String("mpi", "lam", "MPI implementation profile: lam, mpich or ideal")
-		seed    = flag.Int64("seed", 1, "TCP randomness seed")
-		reps    = flag.Int("reps", 10, "observation repetitions")
-		modPath = flag.String("models", "", "load estimated models from this JSON file (from cmd/estimate -json) instead of re-estimating")
+		opName   = flag.String("op", "scatter", "collective: scatter or gather")
+		algName  = flag.String("alg", "linear", "algorithm: linear or binomial")
+		size     = flag.Int("m", 64<<10, "block size in bytes")
+		root     = flag.Int("root", 0, "root rank")
+		mpiName  = flag.String("mpi", "lam", "MPI implementation profile: lam, mpich or ideal")
+		seed     = flag.Int64("seed", 1, "TCP randomness seed")
+		reps     = flag.Int("reps", 10, "observation repetitions")
+		modPath  = flag.String("models", "", "load estimated models from this JSON file (from cmd/estimate -json) instead of re-estimating")
+		topoSpec = flag.String("topo", "", "homogeneous multi-switch cluster from a topology spec (single:N, twotier:RxP, fattree:K, multicluster:SxP) instead of Table I")
 	)
 	flag.Parse()
 
@@ -65,6 +67,13 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Root = *root
 	cfg.ObsReps = *reps
+	if *topoSpec != "" {
+		t, err := topo.ParseSpec(*topoSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfg.Cluster = cluster.FromTopology(t, cluster.NodeSpec{}, cluster.LinkSpec{})
+	}
 	n := cfg.Cluster.N()
 
 	var ms *experiment.ModelSet
@@ -104,7 +113,11 @@ func main() {
 		}
 		fmt.Printf("Loaded models from %s for the %d-node Table I cluster (%s)\n", *modPath, n, prof.Name)
 	} else {
-		fmt.Printf("Estimating models on the %d-node Table I cluster (%s)...\n", n, prof.Name)
+		clusterName := "Table I"
+		if *topoSpec != "" {
+			clusterName = *topoSpec
+		}
+		fmt.Printf("Estimating models on the %d-node %s cluster (%s)...\n", n, clusterName, prof.Name)
 		var err error
 		ms, err = experiment.EstimateAll(cfg)
 		if err != nil {

@@ -49,6 +49,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/stats"
+	"repro/internal/topo"
 	"repro/internal/tuned"
 )
 
@@ -243,6 +244,54 @@ type (
 	ExperimentRunner = experiment.Runner
 )
 
+// Multi-switch topologies. A Topology attached to a cluster adds a
+// switch fabric between the nodes' access links: the simulator forwards
+// messages store-and-forward across typed links (intra-switch, rack
+// uplink, wide-area), and the grouped estimation exploits the leaf
+// structure to collapse the experiment count.
+type (
+	// Topology is a switch graph with typed links and interned routes.
+	Topology = topo.Topology
+	// TopoLinkSpec is one fabric link class (latency, rate, lanes).
+	TopoLinkSpec = topo.ClassSpec
+	// TopoEdge is one undirected switch-to-switch link.
+	TopoEdge = topo.Edge
+	// TopoLinkClass classifies a fabric link (intra, uplink, WAN).
+	TopoLinkClass = topo.Class
+	// Grouping is the logical-homogeneous-group partition detected by
+	// grouped estimation.
+	Grouping = estimate.Grouping
+)
+
+// Fabric link classes.
+const (
+	LinkIntra  = topo.Intra
+	LinkUplink = topo.Uplink
+	LinkWAN    = topo.WAN
+)
+
+// Topology constructors.
+var (
+	// SingleSwitch places n nodes on one switch (the paper's platform).
+	SingleSwitch = topo.SingleSwitch
+	// TwoTier builds racks×perRack nodes behind one spine switch.
+	TwoTier = topo.TwoTier
+	// FatTree builds the k-ary fat-tree (k³/4 hosts).
+	FatTree = topo.FatTree
+	// MultiCluster joins sites of nodes by a wide-area full mesh.
+	MultiCluster = topo.MultiCluster
+	// ParseTopology parses the command-line topology syntax
+	// ("single:N", "twotier:RxP", "fattree:K", "multicluster:SxP").
+	ParseTopology = topo.ParseSpec
+	// DefaultUplink is the default rack/spine trunk spec.
+	DefaultUplink = topo.DefaultUplink
+	// DefaultWAN is the default wide-area link spec.
+	DefaultWAN = topo.DefaultWAN
+	// ClusterFromTopology builds a homogeneous cluster over a topology
+	// (zero specs select Table I-class hardware defaults).
+	ClusterFromTopology = cluster.FromTopology
+)
+
 // Cluster builders.
 var (
 	// Table1 builds the paper's 16-node heterogeneous cluster.
@@ -391,6 +440,15 @@ func (s *System) WithFaults(p *FaultPlan) *System {
 
 // Faults returns the system's installed fault plan (nil when none).
 func (s *System) Faults() *FaultPlan { return s.cfg.Faults }
+
+// WithTopology attaches a multi-switch topology to the system's
+// cluster (nil restores the single-switch view) and returns the system
+// for chaining. The topology must place exactly the cluster's nodes;
+// the mismatch surfaces as a validation error on the next run.
+func (s *System) WithTopology(t *Topology) *System {
+	s.cfg.Cluster.Topo = t
+	return s
+}
 
 // Run executes an SPMD body on every rank of the simulated cluster.
 // Pass WithObserver to record a span trace of the run.

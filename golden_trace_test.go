@@ -14,6 +14,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/simnet"
+	"repro/internal/topo"
 )
 
 // -update regenerates the golden files under testdata/ from the
@@ -69,10 +70,15 @@ func goldenWorkload(r *mpi.Rank) {
 // rendered text must not depend on it (TestTracingDoesNotPerturb).
 func runGoldenScenario(t *testing.T, sc goldenScenario, tr *obs.Trace) string {
 	t.Helper()
+	return runGoldenScenarioOn(t, sc, tr, cluster.Table1().Prefix(sc.nodes))
+}
+
+func runGoldenScenarioOn(t *testing.T, sc goldenScenario, tr *obs.Trace, cl *cluster.Cluster) string {
+	t.Helper()
 	var events []simnet.TraceEvent
 	installed := false
 	res, err := mpi.Run(mpi.Config{
-		Cluster: cluster.Table1().Prefix(sc.nodes),
+		Cluster: cl,
 		Profile: sc.prof(),
 		Seed:    sc.seed,
 		Faults:  sc.plan,
@@ -181,6 +187,22 @@ func TestGoldenTraces(t *testing.T) {
 // the pre-optimization values at full precision.
 func TestGoldenLMOEstimate(t *testing.T) {
 	checkGolden(t, "golden_lmo.txt", renderLMO(t, nil))
+}
+
+// TestSingleSwitchTopologyGoldenIdentical guards the fabric threading
+// through the simulator: attaching an explicit single-switch topology
+// (a switch graph with no fabric edges) must replay the committed
+// goldens byte for byte — no wire-phase arithmetic and no RNG
+// consumption order may change when the fabric is inert.
+func TestSingleSwitchTopologyGoldenIdentical(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			cl := cluster.Table1().Prefix(sc.nodes)
+			cl.Topo = topo.SingleSwitch(sc.nodes)
+			checkGolden(t, "golden_trace_"+sc.name+".txt", runGoldenScenarioOn(t, sc, nil, cl))
+		})
+	}
 }
 
 // TestDeterministicReruns verifies that a fixed (cluster, profile,

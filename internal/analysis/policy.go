@@ -21,6 +21,7 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/models":     true,
 	"repro/internal/experiment": true,
 	"repro/internal/obs":        true,
+	"repro/internal/topo":       true,
 }
 
 // wallClockAllowed lists the packages that legitimately touch the host

@@ -27,6 +27,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/textplot"
+	"repro/internal/topo"
 )
 
 // TargetKind selects what a grid target runs.
@@ -67,6 +68,11 @@ type Grid struct {
 	Clusters []ClusterSpec         // default: {table1}
 	Targets  []Target              // required
 
+	// Topologies are topology specs (topo.ParseSpec syntax, e.g.
+	// "twotier:4x8" or "fattree:8") expanded into additional cluster
+	// specs with default hardware — the topology sweep axis.
+	Topologies []string
+
 	Est     estimate.Options // estimation options for every task
 	ObsReps int              // observation repetitions (experiment targets)
 	Root    int              // collective root
@@ -79,6 +85,16 @@ func (g Grid) withDefaults() Grid {
 	if len(g.Profiles) == 0 {
 		g.Profiles = []*cluster.TCPProfile{cluster.LAM()}
 	}
+	clusters := append([]ClusterSpec(nil), g.Clusters...)
+	for _, spec := range g.Topologies {
+		if t, err := topo.ParseSpec(spec); err == nil {
+			clusters = append(clusters, ClusterSpec{
+				Name:    spec,
+				Cluster: cluster.FromTopology(t, cluster.NodeSpec{}, cluster.LinkSpec{}),
+			})
+		}
+	}
+	g.Clusters = clusters
 	if len(g.Clusters) == 0 {
 		g.Clusters = []ClusterSpec{{Name: "table1", Cluster: cluster.Table1()}}
 	}
@@ -116,6 +132,11 @@ func (g Grid) validate() error {
 	for _, c := range g.Clusters {
 		if c.Cluster == nil {
 			return fmt.Errorf("campaign: cluster spec %q has a nil cluster", c.Name)
+		}
+	}
+	for _, spec := range g.Topologies {
+		if _, err := topo.ParseSpec(spec); err != nil {
+			return fmt.Errorf("campaign: %w", err)
 		}
 	}
 	for _, p := range g.Profiles {

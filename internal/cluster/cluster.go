@@ -13,6 +13,8 @@ package cluster
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/topo"
 )
 
 // NodeSpec is the ground truth for one processor: the constant and
@@ -32,12 +34,20 @@ type LinkSpec struct {
 	Beta float64       // transmission rate in bytes/second (β_ij)
 }
 
-// Cluster is a set of nodes joined by a single switch. Links[i][j]
-// describes the path i→j; for a single switch β_ij = β_ji is realistic
-// and the builders in this package keep links symmetric.
+// Cluster is a set of nodes joined by a switch fabric. Links[i][j]
+// describes the access segment of the path i→j (NIC, cabling and the
+// first switch port); for a single switch β_ij = β_ji is realistic and
+// the builders in this package keep links symmetric.
+//
+// Topo, when non-nil, adds the multi-switch fabric between the
+// endpoints' switches: the simulator forwards each message
+// store-and-forward across the route's links on top of the access
+// segment. A nil Topo (or a topo.SingleSwitch one) is the paper's
+// single-switch platform.
 type Cluster struct {
 	Nodes []NodeSpec
 	Links [][]LinkSpec
+	Topo  *topo.Topology
 }
 
 // N returns the number of nodes.
@@ -72,6 +82,14 @@ func (c *Cluster) Validate() error {
 	for i, nd := range c.Nodes {
 		if nd.C < 0 || nd.T < 0 {
 			return fmt.Errorf("cluster: node %d has negative delays", i)
+		}
+	}
+	if c.Topo != nil {
+		if err := c.Topo.Validate(); err != nil {
+			return err
+		}
+		if c.Topo.Nodes() != n {
+			return fmt.Errorf("cluster: topology places %d nodes, cluster has %d", c.Topo.Nodes(), n)
 		}
 	}
 	return nil
@@ -192,5 +210,38 @@ func (c *Cluster) Prefix(n int) *Cluster {
 	for i := range links {
 		links[i] = append([]LinkSpec(nil), c.Links[i][:n]...)
 	}
-	return &Cluster{Nodes: nodes, Links: links}
+	out := &Cluster{Nodes: nodes, Links: links}
+	if c.Topo != nil {
+		out.Topo = c.Topo.Prefix(n)
+	}
+	return out
+}
+
+// DefaultTopoNode is the node hardware FromTopology assumes when the
+// caller passes a zero NodeSpec: the Table I majority type.
+func DefaultTopoNode() NodeSpec {
+	return NodeSpec{Model: "Dell Poweredge 750 (3.4 Xeon, 1MB L2)", OS: "FC4", C: 35 * time.Microsecond, T: 3.0e-9}
+}
+
+// DefaultTopoAccess is the access link FromTopology assumes when the
+// caller passes a zero LinkSpec: the Table I gigabit segment.
+func DefaultTopoAccess() LinkSpec {
+	return LinkSpec{L: 45 * time.Microsecond, Beta: 9.0e7}
+}
+
+// FromTopology builds a cluster over a topology: homogeneous node
+// hardware and access links (zero values select the Table I-class
+// defaults), with the fabric's heterogeneity coming entirely from the
+// topology's link classes. Per-node or per-pair ground truth can still
+// be edited on the result before use.
+func FromTopology(t *topo.Topology, node NodeSpec, access LinkSpec) *Cluster {
+	if node == (NodeSpec{}) {
+		node = DefaultTopoNode()
+	}
+	if access == (LinkSpec{}) {
+		access = DefaultTopoAccess()
+	}
+	c := Homogeneous(t.Nodes(), node, access)
+	c.Topo = t
+	return c
 }

@@ -1,19 +1,39 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"repro/internal/topo"
 )
+
+// EnvelopeVersion is the cluster file format this build writes.
+// History:
+//
+//	0/1 — the original envelope (no version field): nodes plus a link
+//	      matrix or uniform link, implicitly single-switch.
+//	2   — adds the optional topology section (multi-switch fabric).
+//
+// Readers accept any version up to EnvelopeVersion; files from newer
+// versions are rejected with a clear error instead of being silently
+// misread. Decoding is strict: unknown fields in a file claiming a
+// known version are an error, which is what turns "new field, old
+// reader" into a version bump rather than silent data loss.
+const EnvelopeVersion = 2
 
 // clusterJSON is the on-disk form of a cluster description, letting
 // tool users define their own machines instead of the built-in
 // Table I. Durations are nanoseconds, rates bytes/second.
 type clusterJSON struct {
-	Nodes []nodeJSON   `json:"nodes"`
-	Links [][]linkJSON `json:"links,omitempty"`
+	Version int          `json:"version,omitempty"`
+	Nodes   []nodeJSON   `json:"nodes"`
+	Links   [][]linkJSON `json:"links,omitempty"`
 	// Uniform link applied to every pair when Links is omitted.
 	UniformLink *linkJSON `json:"uniform_link,omitempty"`
+	// Topology, when present, is the multi-switch fabric (version >= 2).
+	Topology *topoJSON `json:"topology,omitempty"`
 }
 
 type nodeJSON struct {
@@ -29,9 +49,26 @@ type linkJSON struct {
 	Beta float64 `json:"beta_b_per_s"` // rate, B/s
 }
 
-// MarshalJSON renders the cluster (full link matrix).
+type topoJSON struct {
+	Name       string     `json:"name,omitempty"`
+	Switches   int        `json:"switches"`
+	NodeSwitch []int      `json:"node_switch"`
+	Edges      []edgeJSON `json:"edges,omitempty"`
+}
+
+type edgeJSON struct {
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	Class string  `json:"class"`
+	LNs   int64   `json:"l_ns"`
+	Beta  float64 `json:"beta_b_per_s"`
+	Lanes int     `json:"lanes,omitempty"`
+}
+
+// MarshalJSON renders the cluster (full link matrix, current envelope
+// version, topology when present).
 func (c *Cluster) MarshalJSON() ([]byte, error) {
-	out := clusterJSON{}
+	out := clusterJSON{Version: EnvelopeVersion}
 	for _, nd := range c.Nodes {
 		out.Nodes = append(out.Nodes, nodeJSON{
 			Name: nd.Name, Model: nd.Model, OS: nd.OS,
@@ -45,15 +82,38 @@ func (c *Cluster) MarshalJSON() ([]byte, error) {
 		}
 		out.Links = append(out.Links, r)
 	}
+	if t := c.Topo; t != nil {
+		tj := &topoJSON{Name: t.Name, Switches: t.Switches, NodeSwitch: t.NodeOf}
+		for _, e := range t.Edges {
+			tj.Edges = append(tj.Edges, edgeJSON{
+				A: e.A, B: e.B, Class: e.Spec.Class.String(),
+				LNs: e.Spec.L.Nanoseconds(), Beta: e.Spec.Beta, Lanes: e.Spec.Lanes,
+			})
+		}
+		out.Topology = tj
+	}
 	return json.MarshalIndent(out, "", "  ")
 }
 
 // FromJSON parses a cluster description. Links may be given as a full
-// n×n matrix or as a single uniform_link applied to every pair.
+// n×n matrix or as a single uniform_link applied to every pair; a
+// topology section (envelope version 2) attaches a multi-switch
+// fabric, with its route tables rebuilt deterministically. Files
+// without a version field are the legacy single-switch envelope and
+// still load; files from a newer envelope version fail with an error
+// naming both versions.
 func FromJSON(data []byte) (*Cluster, error) {
 	var in clusterJSON
-	if err := json.Unmarshal(data, &in); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		if v, ok := sniffVersion(data); ok && v > EnvelopeVersion {
+			return nil, newerVersionError(v)
+		}
 		return nil, fmt.Errorf("cluster: parsing: %w", err)
+	}
+	if in.Version > EnvelopeVersion {
+		return nil, newerVersionError(in.Version)
 	}
 	if len(in.Nodes) == 0 {
 		return nil, fmt.Errorf("cluster: no nodes in description")
@@ -90,8 +150,43 @@ func FromJSON(data []byte) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("cluster: description needs links or uniform_link")
 	}
+	if tj := in.Topology; tj != nil {
+		edges := make([]topo.Edge, 0, len(tj.Edges))
+		for i, e := range tj.Edges {
+			cls, err := topo.ParseClass(e.Class)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: topology edge %d: %w", i, err)
+			}
+			edges = append(edges, topo.Edge{A: e.A, B: e.B, Spec: topo.ClassSpec{
+				Class: cls, L: time.Duration(e.LNs), Beta: e.Beta, Lanes: e.Lanes,
+			}})
+		}
+		t, err := topo.New(tj.Name, tj.Switches, tj.NodeSwitch, edges)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.Topo = t
+	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// newerVersionError is the forward-compatibility refusal.
+func newerVersionError(v int) error {
+	return fmt.Errorf("cluster: file uses envelope version %d, but this build reads at most version %d — it was written by a newer version of the tools", v, EnvelopeVersion)
+}
+
+// sniffVersion leniently extracts the version field from a description
+// that failed strict decoding, so the error can distinguish "written
+// by a newer version" from "malformed".
+func sniffVersion(data []byte) (int, bool) {
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if json.Unmarshal(data, &probe) != nil {
+		return 0, false
+	}
+	return probe.Version, true
 }

@@ -31,6 +31,13 @@ type Options struct {
 	// this many triplets instead of running all C(n,3) — the
 	// runtime-estimation trade-off of §IV. Zero runs the full set.
 	TripletCoverage int
+	// GroupTol is the relative tolerance of the logical-group detector:
+	// two probe signatures within this fraction of each other are
+	// statistically indistinguishable. Default 4%.
+	GroupTol float64
+	// GroupBlind forces the logical-group detector to ignore the
+	// cluster's topology hint and discover groups by probing alone.
+	GroupBlind bool
 	// HockneySizes are the round-trip message sizes of the Hockney
 	// series estimation (per-pair least-squares line through them).
 	// The default spans 0–160 KiB so TCP-layer effects such as the
@@ -50,6 +57,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SaturationCount == 0 {
 		o.SaturationCount = 16
+	}
+	if o.GroupTol == 0 {
+		o.GroupTol = 0.04
 	}
 	if len(o.HockneySizes) == 0 {
 		o.HockneySizes = []int{0, 32 << 10, 96 << 10, 160 << 10}

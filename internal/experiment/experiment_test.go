@@ -309,8 +309,8 @@ func TestIrregReportBothProfiles(t *testing.T) {
 
 func TestRunnersAndLookup(t *testing.T) {
 	rs := Runners()
-	if len(rs) != 19 {
-		t.Fatalf("runners = %d, want 19", len(rs))
+	if len(rs) != 20 {
+		t.Fatalf("runners = %d, want 20", len(rs))
 	}
 	if Lookup("fig4") == nil || Lookup("nope") != nil {
 		t.Fatal("lookup broken")

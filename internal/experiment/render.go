@@ -37,6 +37,7 @@ func Runners() []Runner {
 		{"collectives", "Extension: LMO tree predictions for bcast/reduce/binary/chain", Collectives},
 		{"transfer", "§III: LAM-estimated model applied to an MPICH cluster", Transfer},
 		{"faults", "Robustness: LMO estimation under a seeded fault plan", FaultsExp},
+		{"topo", "Extension: multi-switch topologies, grouped LMO per tier", TopoExp},
 	}
 }
 

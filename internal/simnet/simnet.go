@@ -33,6 +33,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/topo"
 	"repro/internal/vtime"
 )
 
@@ -64,6 +65,10 @@ type Counters struct {
 	Stalled   time.Duration // total retransmission stall time added by loss
 	BlackHole int           // messages dropped because the destination had crashed
 	Crashed   int           // crash events fired
+
+	// Fabric accounting (all zero on single-switch topologies).
+	Hops         int // fabric links traversed across all messages
+	FabricQueued int // hops that waited for a busy lane
 }
 
 // Network is the simulated switched cluster.
@@ -81,6 +86,13 @@ type Network struct {
 	ingressFree []time.Duration   // per node: when its serialized ingress port frees
 	inflight    [][]int           // inflight[dst][src]: concurrent wire transfers per flow
 	inflightTot []int             // inflightTot[dst]: sum of inflight[dst][*], kept in step
+
+	// Multi-switch fabric (nil on single-switch topologies, which keeps
+	// the classic wire phase — and its goldens — byte-identical). The
+	// lane free-times are sharded per directed fabric edge: booking a
+	// hop touches only that edge's flat slice, no maps, no allocation.
+	topo     *topo.Topology
+	laneFree [][]time.Duration // laneFree[directedEdge][lane]: when the lane frees
 
 	rdv         []*vtime.Cond // per-(src,dst) rendezvous completion conds, created lazily
 	free        []*Message    // freelist of recycled Message structs
@@ -126,6 +138,13 @@ func New(eng *vtime.Engine, cl *cluster.Cluster, prof *cluster.TCPProfile, seed 
 		net.conds[i] = vtime.NewCond(eng)
 		net.linkFree[i] = make([]time.Duration, n)
 		net.inflight[i] = make([]int, n)
+	}
+	if tp := cl.Topo; tp != nil && tp.HasFabric() {
+		net.topo = tp
+		net.laneFree = make([][]time.Duration, 2*tp.NumEdges())
+		for de := range net.laneFree {
+			net.laneFree[de] = make([]time.Duration, tp.EdgeSpec(int32(de)).Lanes)
+		}
 	}
 	return net, nil
 }
@@ -351,11 +370,22 @@ func (n *Network) ReceiverCost(dst, m int) time.Duration {
 }
 
 // WireTime returns the uncontended wire time for m bytes from src to
-// dst: L_ij + m/β_ij plus any TCP leap.
+// dst: L_ij + m/β_ij plus any TCP leap, plus — on a multi-switch
+// topology — the store-and-forward traversal of the fabric route.
 func (n *Network) WireTime(src, dst, m int) time.Duration {
 	l := n.cl.Links[src][dst]
 	base := l.L + time.Duration(float64(m)/l.Beta*float64(time.Second))
-	return base + n.prof.LeapExtra(m)
+	base += n.prof.LeapExtra(m)
+	if n.topo != nil {
+		// Per-hop, truncating each transfer exactly as the simulation
+		// does, so predicted and simulated times agree to the nanosecond.
+		rt := n.topo.Route(src, dst)
+		for _, de := range rt.Hops {
+			spec := n.topo.EdgeSpec(de)
+			base += spec.L + time.Duration(float64(m)/spec.Beta*float64(time.Second))
+		}
+	}
+	return base
 }
 
 // Send transmits payload from src to dst with the given tag. It must be
@@ -449,6 +479,12 @@ func (n *Network) SendDeadline(p *vtime.Proc, src, dst, tag int, payload []byte,
 	if n.prof.SerializesIngress(m) {
 		n.ingressFree[dst] = done
 	}
+	if n.laneFree != nil {
+		// 2b. Fabric phase: forward the message across the multi-switch
+		// route before the final access latency. Absent on single-switch
+		// topologies, where this branch must not perturb anything.
+		done = n.forwardFabric(src, dst, m, done)
+	}
 	arrival := done + lat
 
 	n.inflight[dst][src]++
@@ -496,6 +532,41 @@ func (n *Network) SendDeadline(p *vtime.Proc, src, dst, tag int, payload []byte,
 		}
 	}
 	return nil
+}
+
+// forwardFabric walks the message store-and-forward across the fabric
+// route from src's switch to dst's switch, starting when the access
+// segment finishes at t. Each hop books the earliest-free lane of its
+// directed edge for the transmission time only — propagation latency is
+// added to the clock but does not occupy the lane — so an oversubscribed
+// trunk (fewer lanes than feeder ports) queues exactly when more
+// transfers overlap than it has lanes. Returns when the last hop's
+// transmission completes plus latency, i.e. when the message reaches the
+// destination switch; the caller adds the final access latency.
+//
+//lmovet:hotpath
+func (n *Network) forwardFabric(src, dst, m int, t time.Duration) time.Duration {
+	rt := n.topo.Route(src, dst)
+	for _, de := range rt.Hops {
+		spec := n.topo.EdgeSpec(de)
+		lanes := n.laneFree[de]
+		lane := 0
+		for k := 1; k < len(lanes); k++ {
+			if lanes[k] < lanes[lane] {
+				lane = k
+			}
+		}
+		start := t
+		if lanes[lane] > start {
+			start = lanes[lane]
+			n.counters.FabricQueued++
+		}
+		done := start + time.Duration(float64(m)/spec.Beta*float64(time.Second))
+		lanes[lane] = done
+		t = done + spec.L
+		n.counters.Hops++
+	}
+	return t
 }
 
 // scaleCPU applies the node's straggler CPU factor to a base cost.

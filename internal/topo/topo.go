@@ -1,0 +1,385 @@
+// Package topo describes hierarchical multi-switch cluster topologies:
+// a graph of switches joined by typed links (intra-switch, rack uplink,
+// wide-area), each a latency/rate class with a lane count expressing
+// oversubscription. The paper's platform is a single 16-port switch;
+// this package generalizes it to the shapes real users run — racks
+// behind spine uplinks, fat-trees, multi-cluster WANs — following the
+// logical-cluster decomposition of Estefanel & Mounié.
+//
+// A Topology complements a cluster.Cluster: the cluster's per-pair
+// LinkSpec describes the access segment (NIC and first switch port),
+// while the topology adds the store-and-forward fabric between the
+// endpoints' switches. Routes are deterministic shortest paths,
+// computed once at construction and interned per (source switch,
+// destination switch), so the simulator's hot path looks a route up
+// with two array indexings and no allocation.
+package topo
+
+import (
+	"fmt"
+	"time"
+)
+
+// Class is the tier of a fabric link.
+type Class uint8
+
+// The link tiers, ordered by distance from the endpoints.
+const (
+	// Intra is the intra-switch tier: node pairs on one switch cross
+	// no fabric link at all, so no edge normally carries this class;
+	// it appears as the class of an empty route.
+	Intra Class = iota
+	// Uplink is the rack-to-spine (or edge-aggregation-core) tier.
+	Uplink
+	// WAN is the wide-area tier joining distinct clusters.
+	WAN
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Intra:
+		return "intra"
+	case Uplink:
+		return "uplink"
+	case WAN:
+		return "wan"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ParseClass parses a class name written by String.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "intra":
+		return Intra, nil
+	case "uplink":
+		return Uplink, nil
+	case "wan":
+		return WAN, nil
+	default:
+		return 0, fmt.Errorf("topo: unknown link class %q", s)
+	}
+}
+
+// ClassSpec is the ground truth of one fabric-link tier: the fixed
+// per-traversal latency, the per-lane transmission rate, and the
+// number of parallel lanes. Lanes express oversubscription: an uplink
+// serving p downstream ports with p/f lanes is oversubscribed by
+// factor f — concurrent transfers beyond the lane count queue.
+type ClassSpec struct {
+	Class Class
+	L     time.Duration // fixed latency per traversal
+	Beta  float64       // transmission rate per lane, bytes/second
+	Lanes int           // parallel transmission slots (0 means 1)
+}
+
+// WithOversub returns the spec with its lane count derived from an
+// oversubscription factor: serving `ports` downstream ports at factor
+// f leaves max(1, ports/f) lanes.
+func (s ClassSpec) WithOversub(ports int, factor float64) ClassSpec {
+	if factor <= 0 {
+		factor = 1
+	}
+	lanes := int(float64(ports) / factor)
+	if lanes < 1 {
+		lanes = 1
+	}
+	s.Lanes = lanes
+	return s
+}
+
+// Edge is one undirected fabric link between two switches. The
+// simulator books its two directions independently (full duplex).
+type Edge struct {
+	A, B int // switch endpoints
+	Spec ClassSpec
+}
+
+// Route is the interned path between two switches: the directed edge
+// ids to traverse in order, plus the precomputed uncontended totals a
+// predictor or ground-truth query needs. A directed edge id is
+// 2·edgeIndex+0 for the A→B direction and 2·edgeIndex+1 for B→A.
+type Route struct {
+	Hops     []int32       // directed edge ids, in traversal order
+	L        time.Duration // Σ per-hop latencies
+	InvBeta  float64       // Σ 1/β per hop (store-and-forward serialization), s/B
+	MaxClass Class         // highest tier crossed (Intra for an empty route)
+}
+
+// Topology is an immutable switch graph with node placement and
+// interned route tables. Build one with New or the shape constructors;
+// do not mutate the fields after construction.
+type Topology struct {
+	Name     string
+	Switches int
+	NodeOf   []int // node index -> switch index
+	Edges    []Edge
+
+	routes   []Route // deduplicated hop sequences; routes[0] is the empty route
+	routeIdx []int32 // srcSwitch*Switches+dstSwitch -> index into routes
+}
+
+// New builds a topology and computes its route tables. NodeOf maps
+// each node to its switch; edges is the fabric (empty for a single
+// switch). Every switch pair must be connected.
+func New(name string, switches int, nodeOf []int, edges []Edge) (*Topology, error) {
+	t := &Topology{Name: name, Switches: switches, NodeOf: nodeOf, Edges: edges}
+	for i := range t.Edges {
+		if t.Edges[i].Spec.Lanes == 0 {
+			t.Edges[i].Spec.Lanes = 1
+		}
+	}
+	if err := t.validateStructure(); err != nil {
+		return nil, err
+	}
+	if err := t.buildRoutes(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// validateStructure checks everything except connectivity (which
+// buildRoutes establishes).
+func (t *Topology) validateStructure() error {
+	if t.Switches < 1 {
+		return fmt.Errorf("topo: %d switches", t.Switches)
+	}
+	if len(t.NodeOf) == 0 {
+		return fmt.Errorf("topo: no nodes placed")
+	}
+	for i, s := range t.NodeOf {
+		if s < 0 || s >= t.Switches {
+			return fmt.Errorf("topo: node %d on switch %d of %d", i, s, t.Switches)
+		}
+	}
+	for i, e := range t.Edges {
+		if e.A < 0 || e.A >= t.Switches || e.B < 0 || e.B >= t.Switches {
+			return fmt.Errorf("topo: edge %d joins switches %d-%d of %d", i, e.A, e.B, t.Switches)
+		}
+		if e.A == e.B {
+			return fmt.Errorf("topo: edge %d is a self-loop on switch %d", i, e.A)
+		}
+		if e.Spec.Beta <= 0 {
+			return fmt.Errorf("topo: edge %d has non-positive rate", i)
+		}
+		if e.Spec.L < 0 {
+			return fmt.Errorf("topo: edge %d has negative latency", i)
+		}
+		if e.Spec.Lanes < 1 {
+			return fmt.Errorf("topo: edge %d has %d lanes", i, e.Spec.Lanes)
+		}
+	}
+	return nil
+}
+
+// Validate re-checks the invariants New established (for descriptions
+// deserialized or assembled by hand and passed through cluster files).
+func (t *Topology) Validate() error {
+	if err := t.validateStructure(); err != nil {
+		return err
+	}
+	if len(t.routeIdx) != t.Switches*t.Switches {
+		return fmt.Errorf("topo: route table not built (construct topologies with topo.New)")
+	}
+	return nil
+}
+
+// halfEdge is one direction of an edge in the adjacency list.
+type halfEdge struct {
+	to int
+	de int32 // directed edge id
+}
+
+// buildRoutes computes deterministic shortest paths between every
+// switch pair with BFS and interns the hop sequences. Among equal-cost
+// parents the reconstruction spreads deterministically by a hash of
+// (src, dst, depth) — the ECMP-like load spreading that keeps a
+// fat-tree's core from collapsing onto one switch — so the chosen path
+// is a pure function of the topology and the pair.
+func (t *Topology) buildRoutes() error {
+	s := t.Switches
+	adj := make([][]halfEdge, s)
+	for ei, e := range t.Edges {
+		adj[e.A] = append(adj[e.A], halfEdge{e.B, int32(2 * ei)})
+		adj[e.B] = append(adj[e.B], halfEdge{e.A, int32(2*ei + 1)})
+	}
+	// Adjacency lists are appended in edge order, which is already
+	// deterministic; BFS visits them in that order.
+
+	t.routes = []Route{{}} // routes[0]: the empty (same-switch) route
+	t.routeIdx = make([]int32, s*s)
+	intern := map[string]int32{"": 0}
+
+	dist := make([]int, s)
+	parents := make([][]halfEdge, s) // per switch: equal-cost incoming half-edges
+	queue := make([]int, 0, s)
+	for src := 0; src < s; src++ {
+		for i := range dist {
+			dist[i] = -1
+			parents[i] = parents[i][:0]
+		}
+		dist[src] = 0
+		queue = append(queue[:0], src)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, h := range adj[v] {
+				switch {
+				case dist[h.to] == -1:
+					dist[h.to] = dist[v] + 1
+					parents[h.to] = append(parents[h.to], h)
+					queue = append(queue, h.to)
+				case dist[h.to] == dist[v]+1:
+					parents[h.to] = append(parents[h.to], h)
+				}
+			}
+		}
+		for dst := 0; dst < s; dst++ {
+			if src == dst {
+				continue // routeIdx already 0
+			}
+			if dist[dst] == -1 {
+				return fmt.Errorf("topo: switches %d and %d are not connected", src, dst)
+			}
+			hops := make([]int32, dist[dst])
+			for v, d := src, dst; d != v; {
+				ps := parents[d]
+				h := ps[mix(src, dst, dist[d])%uint32(len(ps))]
+				hops[dist[d]-1] = h.de
+				d = t.otherEnd(h.de)
+			}
+			key := hopKey(hops)
+			idx, ok := intern[key]
+			if !ok {
+				idx = int32(len(t.routes))
+				t.routes = append(t.routes, t.makeRoute(hops))
+				intern[key] = idx
+			}
+			t.routeIdx[src*s+dst] = idx
+		}
+	}
+	return nil
+}
+
+// otherEnd returns the switch a directed edge id leads *from* (its
+// tail), i.e. the BFS predecessor when the edge points at the current
+// switch.
+func (t *Topology) otherEnd(de int32) int {
+	e := t.Edges[de>>1]
+	if de&1 == 0 {
+		return e.A
+	}
+	return e.B
+}
+
+// mix is a small deterministic hash for equal-cost path spreading.
+func mix(src, dst, depth int) uint32 {
+	h := uint32(src)*0x9e3779b1 ^ uint32(dst)*0x85ebca77 ^ uint32(depth)*0xc2b2ae3d
+	h ^= h >> 15
+	return h
+}
+
+// hopKey encodes a hop sequence for interning.
+func hopKey(hops []int32) string {
+	b := make([]byte, 4*len(hops))
+	for i, h := range hops {
+		b[4*i] = byte(h)
+		b[4*i+1] = byte(h >> 8)
+		b[4*i+2] = byte(h >> 16)
+		b[4*i+3] = byte(h >> 24)
+	}
+	return string(b)
+}
+
+// makeRoute precomputes a route's uncontended totals.
+func (t *Topology) makeRoute(hops []int32) Route {
+	r := Route{Hops: hops}
+	for _, de := range hops {
+		spec := t.Edges[de>>1].Spec
+		r.L += spec.L
+		r.InvBeta += 1 / spec.Beta
+		if spec.Class > r.MaxClass {
+			r.MaxClass = spec.Class
+		}
+	}
+	return r
+}
+
+// Nodes returns the number of placed nodes.
+func (t *Topology) Nodes() int { return len(t.NodeOf) }
+
+// NumEdges returns the number of undirected fabric edges.
+func (t *Topology) NumEdges() int { return len(t.Edges) }
+
+// NumRoutes returns the number of distinct interned routes (including
+// the empty route) — the interning statistic the benchmarks report.
+func (t *Topology) NumRoutes() int { return len(t.routes) }
+
+// HasFabric reports whether any node pair crosses a fabric link; a
+// single-switch topology has none and the simulator skips the fabric
+// phase entirely.
+func (t *Topology) HasFabric() bool { return len(t.Edges) > 0 }
+
+// Route returns the interned route between two nodes' switches. The
+// returned route is shared and must not be mutated.
+//
+//lmovet:hotpath
+func (t *Topology) Route(src, dst int) *Route {
+	return &t.routes[t.routeIdx[t.NodeOf[src]*t.Switches+t.NodeOf[dst]]]
+}
+
+// EdgeSpec returns the link class of a directed edge id from a route's
+// hop list. The returned spec is shared and must not be mutated.
+//
+//lmovet:hotpath
+func (t *Topology) EdgeSpec(de int32) *ClassSpec {
+	return &t.Edges[de>>1].Spec
+}
+
+// SameSwitch reports whether two nodes share a switch.
+func (t *Topology) SameSwitch(i, j int) bool { return t.NodeOf[i] == t.NodeOf[j] }
+
+// Tier returns the highest link class on the route between two nodes
+// (Intra when they share a switch).
+func (t *Topology) Tier(i, j int) Class { return t.Route(i, j).MaxClass }
+
+// ExtraL returns the fabric's contribution to the fixed latency of the
+// i→j path (zero on a shared switch).
+func (t *Topology) ExtraL(i, j int) time.Duration { return t.Route(i, j).L }
+
+// ExtraInvBeta returns the fabric's contribution to the inverse
+// transmission rate of the i→j path in seconds/byte: each hop forwards
+// store-and-forward, so the per-byte times add.
+func (t *Topology) ExtraInvBeta(i, j int) float64 { return t.Route(i, j).InvBeta }
+
+// LeafGroups partitions the nodes by switch, in switch index order,
+// omitting empty switches (spines and cores host no nodes). Members
+// are in node index order. This is the topology's candidate logical
+// grouping: nodes on one leaf switch see identical fabric.
+func (t *Topology) LeafGroups() [][]int {
+	per := make([][]int, t.Switches)
+	for i, s := range t.NodeOf {
+		per[s] = append(per[s], i)
+	}
+	out := make([][]int, 0, t.Switches)
+	for _, g := range per {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Prefix returns a topology over the first n nodes only, sharing the
+// switch graph and route tables with the receiver. It panics if n is
+// out of range.
+func (t *Topology) Prefix(n int) *Topology {
+	if n < 1 || n > len(t.NodeOf) {
+		panic(fmt.Sprintf("topo: prefix %d of %d nodes", n, len(t.NodeOf)))
+	}
+	cp := *t
+	cp.NodeOf = t.NodeOf[:n]
+	return &cp
+}

@@ -77,7 +77,8 @@ func (s Schedule) String() string {
 // estimateConfig is the resolved state of a chain of EstimateOptions.
 type estimateConfig struct {
 	opt     EstimateOptions
-	baseSet int // WithEstimateOptions applications (at most one allowed)
+	grouped bool // WithLogicalGroups (ModelLMO only)
+	baseSet int  // WithEstimateOptions applications (at most one allowed)
 	err     error
 }
 
@@ -174,6 +175,28 @@ func (o tripletCoverageOption) applyEstimate(c *estimateConfig) {
 // set.
 func WithTripletCoverage(k int) EstimateOption { return tripletCoverageOption(k) }
 
+type groupedOption struct{ blind bool }
+
+func (o groupedOption) applyEstimate(c *estimateConfig) {
+	c.grouped = true
+	c.opt.GroupBlind = o.blind
+}
+
+// WithLogicalGroups switches ModelLMO estimation to the grouped
+// procedure: detect logical homogeneous groups, run one triplet of
+// experiments per group and one pair per inter-group link class, then
+// expand back to the full per-node model. This collapses the
+// O(n²·triplets) experiment count and makes thousand-node clusters
+// estimable; the detected partition lands in Estimation.Groups. The
+// gather irregularity scan is skipped (Gather stays nil). Valid only
+// with ModelLMO. When the cluster has a topology attached the detector
+// uses its leaf structure as a hint; WithBlindGroups ignores it.
+func WithLogicalGroups() EstimateOption { return groupedOption{} }
+
+// WithBlindGroups is WithLogicalGroups with the topology hint disabled:
+// groups are detected purely from probe timings.
+func WithBlindGroups() EstimateOption { return groupedOption{blind: true} }
+
 type observerOption struct{ t *obs.Trace }
 
 func (o observerOption) applyEstimate(c *estimateConfig) { c.opt.Obs = o.t }
@@ -228,6 +251,10 @@ type Estimation struct {
 	LogP        *LogP        // ModelLogP
 	LogGP       *LogGP       // ModelLogP (estimated together with LogP)
 	PLogP       *PLogP       // ModelPLogP
+
+	// Groups is the logical-group partition detected by the grouped
+	// LMO estimation (nil unless WithLogicalGroups was used).
+	Groups *Grouping
 
 	Report EstimateReport
 	Trace  *Trace // the observer passed via WithObserver (nil otherwise)
@@ -289,8 +316,21 @@ func (s *System) Estimate(kind ModelKind, opts ...EstimateOption) (*Estimation, 
 	if cfg.err != nil {
 		return est, cfg.err
 	}
+	if cfg.grouped && kind != ModelLMO {
+		return est, fmt.Errorf("commperf: WithLogicalGroups requires ModelLMO, got %v", kind)
+	}
 	switch kind {
 	case ModelLMO:
+		if cfg.grouped {
+			m, g, rep, err := estimate.LMOGrouped(s.cfg, cfg.opt)
+			est.Report = rep
+			if err != nil {
+				return est, err
+			}
+			est.LMO = m
+			est.Groups = g
+			break
+		}
 		m, rep, err := estimate.LMOX(s.cfg, cfg.opt)
 		est.Report = rep
 		if err != nil {
