@@ -10,6 +10,10 @@
 // Endpoints:
 //
 //	POST /predict   {"cluster","nodes","profile","seed","op","alg","m","root"}
+//	                batched form: add "queries":[{...per-query overrides}] —
+//	                top-level fields become defaults, each row may override
+//	                any of them; cache hits are served lock-free off the
+//	                registry snapshot and misses share one admission slot
 //	POST /estimate  {"cluster","nodes","profile","seeds","estimator","parallel"} -> job
 //	GET  /jobs      list estimation jobs; GET /jobs/{id} polls one
 //	GET  /models    list the cached model sets

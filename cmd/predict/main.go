@@ -6,6 +6,9 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +32,7 @@ func main() {
 		reps     = flag.Int("reps", 10, "observation repetitions")
 		modPath  = flag.String("models", "", "load estimated models from this JSON file (from cmd/estimate -json) instead of re-estimating")
 		topoSpec = flag.String("topo", "", "homogeneous multi-switch cluster from a topology spec (single:N, twotier:RxP, fattree:K, multicluster:SxP) instead of Table I")
+		batch    = flag.String("batch", "", `batch mode: read JSONL queries ({"op","alg","m","root"}, blanks inherit the flags) from this file ("-" = stdin) and emit one JSON prediction per line; skips the observation run`)
 	)
 	flag.Parse()
 
@@ -60,6 +64,12 @@ func main() {
 		op = experiment.Gather
 	default:
 		fail("unknown -op %q", *opName)
+	}
+
+	// In batch mode stdout carries pure JSONL; status goes to stderr.
+	info := os.Stdout
+	if *batch != "" {
+		info = os.Stderr
 	}
 
 	cfg := experiment.Default()
@@ -97,7 +107,7 @@ func main() {
 				n = meta.Nodes
 			}
 			if meta.Profile != prof.Name {
-				fmt.Printf("note: models were estimated under %s, observing under %s\n", meta.Profile, prof.Name)
+				fmt.Fprintf(info, "note: models were estimated under %s, observing under %s\n", meta.Profile, prof.Name)
 			}
 		}
 		plogp, err := mf.GetPLogP()
@@ -111,18 +121,23 @@ func main() {
 		if ms.Het == nil || ms.LMO == nil || ms.LogGP == nil || ms.PLogP == nil {
 			fail("model file %s is missing required models; regenerate with cmd/estimate -json", *modPath)
 		}
-		fmt.Printf("Loaded models from %s for the %d-node Table I cluster (%s)\n", *modPath, n, prof.Name)
+		fmt.Fprintf(info, "Loaded models from %s for the %d-node Table I cluster (%s)\n", *modPath, n, prof.Name)
 	} else {
 		clusterName := "Table I"
 		if *topoSpec != "" {
 			clusterName = *topoSpec
 		}
-		fmt.Printf("Estimating models on the %d-node %s cluster (%s)...\n", n, clusterName, prof.Name)
+		fmt.Fprintf(info, "Estimating models on the %d-node %s cluster (%s)...\n", n, clusterName, prof.Name)
 		var err error
 		ms, err = experiment.EstimateAll(cfg)
 		if err != nil {
 			fail("%v", err)
 		}
+	}
+
+	if *batch != "" {
+		runBatch(*batch, ms, n, *opName, *algName, *size, *root)
+		return
 	}
 
 	cfg.Sizes = []int{*size}
@@ -179,6 +194,120 @@ func main() {
 			fmt.Printf("LMO escalation band at this size: [%.6f, %.6f] s (observed worst rep %.6f)\n",
 				lo, hi, obs.Max[0])
 		}
+	}
+}
+
+// batchQuery is one JSONL row of -batch input. Absent fields inherit
+// the command-line flags (the batched /predict default-merge idiom).
+type batchQuery struct {
+	Op   string `json:"op,omitempty"`
+	Alg  string `json:"alg,omitempty"`
+	M    int    `json:"m,omitempty"`
+	Root *int   `json:"root,omitempty"`
+}
+
+// batchResult is one output line: the resolved query plus every model
+// family's prediction for it.
+type batchResult struct {
+	Op          string             `json:"op"`
+	Alg         string             `json:"alg"`
+	M           int                `json:"m"`
+	Nodes       int                `json:"nodes"`
+	Root        int                `json:"root"`
+	Predictions map[string]float64 `json:"predictions"`
+	BandLow     *float64           `json:"band_low,omitempty"`
+	BandHigh    *float64           `json:"band_high,omitempty"`
+}
+
+// runBatch streams JSONL queries through the estimated model set — the
+// server-free counterpart of lmoserve's batched /predict.
+func runBatch(path string, ms *experiment.ModelSet, n int, defOp, defAlg string, defM, defRoot int) {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		q := batchQuery{Op: defOp, Alg: defAlg, M: defM}
+		if err := json.Unmarshal(raw, &q); err != nil {
+			fail("line %d: %v", line, err)
+		}
+		if q.Op == "" {
+			q.Op = defOp
+		}
+		if q.Alg == "" {
+			q.Alg = defAlg
+		}
+		if q.M == 0 {
+			q.M = defM
+		}
+		root := defRoot
+		if q.Root != nil {
+			root = *q.Root
+		}
+		if q.Op != "scatter" && q.Op != "gather" {
+			fail("line %d: op must be scatter or gather", line)
+		}
+		if q.Alg != "linear" && q.Alg != "binomial" {
+			fail("line %d: alg must be linear or binomial", line)
+		}
+		if q.M <= 0 {
+			fail("line %d: m must be positive", line)
+		}
+		if root < 0 || root >= n {
+			fail("line %d: root must be in [0, %d)", line, n)
+		}
+		res := batchResult{
+			Op: q.Op, Alg: q.Alg, M: q.M, Nodes: n, Root: root,
+			Predictions: map[string]float64{},
+		}
+		switch {
+		case q.Op == "scatter" && q.Alg == "linear":
+			res.Predictions["het-hockney"] = ms.Het.ScatterLinear(root, n, q.M)
+			res.Predictions["loggp"] = ms.LogGP.ScatterLinear(root, n, q.M)
+			res.Predictions["plogp"] = ms.PLogP.ScatterLinear(root, n, q.M)
+			res.Predictions["lmo"] = ms.LMO.ScatterLinear(root, n, q.M)
+		case q.Op == "scatter":
+			if ms.Hom != nil {
+				res.Predictions["hockney"] = ms.Hom.ScatterBinomial(root, n, q.M)
+			}
+			res.Predictions["het-hockney"] = ms.Het.ScatterBinomial(root, n, q.M)
+			res.Predictions["lmo"] = ms.LMO.ScatterBinomial(root, n, q.M)
+		case q.Alg == "linear":
+			res.Predictions["het-hockney"] = ms.Het.GatherLinear(root, n, q.M)
+			res.Predictions["loggp"] = ms.LogGP.GatherLinear(root, n, q.M)
+			res.Predictions["plogp"] = ms.PLogP.GatherLinear(root, n, q.M)
+			res.Predictions["lmo"] = ms.LMO.GatherLinear(root, n, q.M)
+			if ms.LMO.Gather.Valid() {
+				if lo, hi := ms.LMO.GatherLinearBand(root, n, q.M); hi > lo {
+					res.BandLow, res.BandHigh = &lo, &hi
+				}
+			}
+		default:
+			res.Predictions["het-hockney"] = ms.Het.GatherBinomial(root, n, q.M)
+			res.Predictions["lmo"] = ms.LMO.GatherBinomial(root, n, q.M)
+		}
+		if err := enc.Encode(res); err != nil {
+			fail("%v", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("%v", err)
 	}
 }
 

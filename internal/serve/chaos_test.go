@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -515,5 +516,153 @@ func TestChaosCleanDrain(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(expo.String(), "serve_draining 1") {
 		t.Fatalf("exposition missing serve_draining 1:\n%s", expo.String())
+	}
+}
+
+// TestChaosSnapshotChurnKeepsReadsStable hammers the lock-free read
+// path while a writer churns the copy-on-write registry through inserts
+// and LRU evictions: readers must never observe a partially published
+// snapshot (a nil entry, a half-built predictor set) and cache-hit HTTP
+// responses must stay byte-identical throughout. Run under -race
+// -count=2 by the chaos CI job.
+func TestChaosSnapshotChurnKeepsReadsStable(t *testing.T) {
+	hot := Key{Cluster: "table1", Nodes: 8, Profile: cluster.LAM().Name, Seed: 1}
+	s, ts := testServer(t, Config{
+		Capacity: 2,
+		Preload:  []*models.ModelFile{fakeFile(hot)},
+		taskHook: chaosTaskOK,
+	})
+
+	// Reference bytes for a cache-hit read of the hot key.
+	body := `{"cluster":"table1","nodes":8,"profile":"lam","op":"scatter","m":1024}`
+	refStatus, _, ref := rawPost(t, ts.URL+"/predict", body)
+	if refStatus != http.StatusOK || !strings.Contains(string(ref), `"cache": "hit"`) {
+		t.Fatalf("reference read: status %d body %s", refStatus, ref)
+	}
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() { // churn: fresh keys force eviction scans and snapshot swaps
+		defer close(writerDone)
+		for seed := int64(100); ; seed++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := Key{Cluster: "table1", Nodes: 8, Profile: cluster.LAM().Name, Seed: seed}
+			if _, err := s.reg.Put(fakeFile(k)); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(50 * time.Microsecond) // let readers interleave
+		}
+	}()
+
+	const readers, reads = 4, 100
+	httpErrs := make(chan string, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				// Direct snapshot reads: an entry must always be fully
+				// formed, however mid-eviction the writer is.
+				if e, ok := s.reg.LookupHit(hot); ok {
+					if e.Hom == nil || e.preds[famHockney] == nil {
+						httpErrs <- "LookupHit returned a partially built entry"
+						return
+					}
+				}
+				st, _, got := rawPost(t, ts.URL+"/predict", body)
+				if st != http.StatusOK {
+					httpErrs <- "predict status " + http.StatusText(st)
+					return
+				}
+				if strings.Contains(string(got), `"cache": "hit"`) && !bytes.Equal(got, ref) {
+					httpErrs <- "cache-hit response not byte-stable:\n" + string(got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+	select {
+	case msg := <-httpErrs:
+		t.Fatal(msg)
+	default:
+	}
+	st := s.reg.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("churn produced no evictions; the test exercised nothing")
+	}
+	if st.Swaps == 0 || s.reg.Swaps() == 0 {
+		t.Fatalf("no snapshot swaps recorded: %+v", st)
+	}
+}
+
+// TestChaosBatchOverloadShedsPerItem wedges the single estimation slot
+// and checks the batch degradation contract: rows on cached platforms
+// keep answering from the hit path while rows needing estimation come
+// back as typed per-item shed errors — the batch itself stays 200 and
+// byte-stable, and the shed is counted once per batch.
+func TestChaosBatchOverloadShedsPerItem(t *testing.T) {
+	gate := make(chan struct{})
+	preKey := Key{Cluster: "table1", Nodes: 8, Profile: cluster.LAM().Name, Seed: 1}
+	s, ts := testServer(t, Config{
+		MaxConcurrent: 1,
+		MaxQueue:      -1, // no queue: batch misses shed immediately
+		RetryAfter:    2 * time.Second,
+		Preload:       []*models.ModelFile{fakeFile(preKey)},
+		taskHook: func(g campaign.Grid, tk campaign.Task) campaign.Result {
+			<-gate
+			return chaosTaskOK(g, tk)
+		},
+	})
+
+	// A slow unary miss occupies the only estimation slot.
+	slow := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/predict", "application/json",
+			strings.NewReader(`{"cluster":"table1","nodes":4,"profile":"ideal","op":"gather","m":1024}`))
+		if err != nil {
+			slow <- -1
+			return
+		}
+		resp.Body.Close()
+		slow <- resp.StatusCode
+	}()
+	waitFor(t, "slot occupied", func() bool { return s.adm.InFlight() == 1 })
+
+	batch := `{"cluster":"table1","nodes":8,"profile":"lam","seed":1,"op":"scatter","m":1024,` +
+		`"queries":[{},{"nodes":5,"profile":"ideal"},{"m":4096}]}`
+	st1, _, body1 := rawPost(t, ts.URL+"/predict", batch)
+	if st1 != http.StatusOK {
+		t.Fatalf("batch during overload: status %d body %s, want 200", st1, body1)
+	}
+	got := string(body1)
+	if !strings.Contains(got, `"errors":1`) {
+		t.Fatalf("batch envelope should report 1 failed row: %s", got)
+	}
+	if !strings.Contains(got, `"code":"shed"`) {
+		t.Fatalf("missing typed per-item shed error: %s", got)
+	}
+	if strings.Count(got, `"cache":"hit"`) != 2 {
+		t.Fatalf("cached rows should keep answering during overload: %s", got)
+	}
+	st2, _, body2 := rawPost(t, ts.URL+"/predict", batch)
+	if st2 != st1 || !bytes.Equal(body1, body2) {
+		t.Fatalf("overloaded batch responses not byte-stable:\n%s\n%s", body1, body2)
+	}
+	if gotShed := s.metrics.ShedCount("predict"); gotShed != 2 {
+		t.Fatalf("serve_shed_total{predict} = %d, want 2 (one per batch)", gotShed)
+	}
+
+	close(gate)
+	if st := <-slow; st != http.StatusOK {
+		t.Fatalf("slow predict after release: status %d", st)
 	}
 }

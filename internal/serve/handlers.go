@@ -64,15 +64,21 @@ func (s *Server) writeWorkError(w http.ResponseWriter, endpoint string, err erro
 }
 
 // PredictRequest asks for one collective's predicted time on a
-// platform. A registry miss estimates the platform's models first
-// (deduped across concurrent requests, admission-controlled, and
-// circuit-broken per platform).
+// platform — or, when Queries is present, for a whole batch of them
+// with the top-level fields acting as shared defaults. A registry miss
+// estimates the platform's models first (deduped across concurrent
+// requests, admission-controlled, and circuit-broken per platform).
 type PredictRequest struct {
 	platformRequest
 	Op   string `json:"op"`   // "scatter" or "gather"
 	Alg  string `json:"alg"`  // "linear" (default) or "binomial"
 	M    int    `json:"m"`    // block size in bytes
 	Root int    `json:"root"` // collective root rank
+
+	// Queries switches the request to batch mode: each row inherits
+	// the top-level fields and overrides any it sets (the runfile
+	// idiom: globals, then rows). See batch.go.
+	Queries []BatchQuery `json:"queries,omitempty"`
 }
 
 // PredictResponse reports the per-model predictions.
@@ -100,6 +106,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	if req.Queries != nil {
+		s.handleBatchPredict(w, r, &req)
+		return
+	}
 	key, _, _, err := req.resolve()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -109,16 +119,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "m must be a positive block size in bytes")
 		return
 	}
-	if req.Op != "scatter" && req.Op != "gather" {
-		httpError(w, http.StatusBadRequest, "op must be scatter or gather")
-		return
-	}
-	alg := req.Alg
-	if alg == "" {
-		alg = "linear"
-	}
-	if alg != "linear" && alg != "binomial" {
-		httpError(w, http.StatusBadRequest, "alg must be linear or binomial")
+	code, alg, err := parseOpAlg(req.Op, req.Alg)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Root < 0 || req.Root >= key.Nodes {
@@ -129,7 +132,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// Cached platforms answer without touching admission: reads must
 	// keep flowing whatever the estimation backlog looks like.
 	if entry, ok := s.reg.LookupHit(key); ok {
-		s.writePrediction(w, req, alg, key, entry, "hit")
+		s.writePrediction(w, req, code, alg, key, entry, "hit")
 		return
 	}
 
@@ -156,75 +159,31 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// GetOrEstimate: this request rode someone else's work.
 		cache = "joined"
 	}
-	s.writePrediction(w, req, alg, key, entry, cache)
+	s.writePrediction(w, req, code, alg, key, entry, cache)
 }
 
-// writePrediction renders the prediction response for a resolved entry.
-func (s *Server) writePrediction(w http.ResponseWriter, req PredictRequest, alg string, key Key, entry *Entry, cache string) {
+// writePrediction renders the prediction response for a resolved
+// entry. The predictions map comes from a pool and is reused across
+// requests: the unary path allocates no fresh map per request
+// (TestPredictAllReusesMap pins this).
+func (s *Server) writePrediction(w http.ResponseWriter, req PredictRequest, code opAlg, alg string, key Key, entry *Entry, cache string) {
+	preds := predMaps.Get().(map[string]float64)
+	predictAll(entry, code, req.Root, key.Nodes, req.M, preds)
 	resp := PredictResponse{
 		Key: key.String(), Op: req.Op, Alg: alg, Cache: cache,
 		M: req.M, Nodes: key.Nodes, Root: req.Root,
-		Predictions: predictAll(entry, req.Op, alg, req.Root, key.Nodes, req.M),
+		Predictions: preds,
 	}
-	if req.Op == "gather" && alg == "linear" && entry.LMO != nil && entry.LMO.Gather.Valid() {
+	if code == opGatherLinear && entry.LMO != nil && entry.LMO.Gather.Valid() {
 		lo, hi := entry.LMO.GatherLinearBand(req.Root, key.Nodes, req.M)
 		if hi > lo {
 			resp.BandLow, resp.BandHigh = &lo, &hi
 		}
 	}
+	s.metrics.Prediction(cache, "unary", 1)
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// collectivePredictor is the op/alg prediction surface every model in
-// the zoo implements.
-type collectivePredictor interface {
-	ScatterLinear(root, n, m int) float64
-	ScatterBinomial(root, n, m int) float64
-	GatherLinear(root, n, m int) float64
-	GatherBinomial(root, n, m int) float64
-}
-
-// predictAll evaluates every model the entry holds on the requested
-// collective.
-func predictAll(e *Entry, op, alg string, root, n, m int) map[string]float64 {
-	zoo := map[string]collectivePredictor{}
-	if e.Hom != nil {
-		zoo["hockney"] = e.Hom
-	}
-	if e.Het != nil {
-		zoo["het-hockney"] = e.Het
-	}
-	if e.LogP != nil {
-		zoo["logp"] = e.LogP
-	}
-	if e.LogGP != nil {
-		zoo["loggp"] = e.LogGP
-	}
-	if e.PLogP != nil {
-		zoo["plogp"] = e.PLogP
-	}
-	if e.LMO != nil {
-		zoo["lmo"] = e.LMO
-	}
-	out := map[string]float64{}
-	// Keyed map-to-map transform: one prediction per model family,
-	// entries independent; encoding/json renders the result sorted.
-	//lmovet:commutative
-	for name, model := range zoo {
-		var v float64
-		switch {
-		case op == "scatter" && alg == "linear":
-			v = model.ScatterLinear(root, n, m)
-		case op == "scatter":
-			v = model.ScatterBinomial(root, n, m)
-		case alg == "linear":
-			v = model.GatherLinear(root, n, m)
-		default:
-			v = model.GatherBinomial(root, n, m)
-		}
-		out[name] = v
-	}
-	return out
+	clear(preds)
+	predMaps.Put(preds)
 }
 
 // EstimateRequest launches an asynchronous estimation campaign.

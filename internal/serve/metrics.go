@@ -35,24 +35,29 @@ type Metrics struct {
 	shed     *obs.CounterVec // serve_shed_total: load-shed requests
 	panics   *obs.CounterVec // serve_panics_total: recovered handler panics
 
+	// Prediction-path counters (batched /predict, PR 8).
+	predictions *obs.CounterVec   // serve_predictions_total{cache,batch}
+	batchSize   *obs.HistogramVec // serve_batch_size: queries per batch request
+
 	// Gauges refreshed from the live service parts at render time.
-	uptime       *obs.GaugeVec
-	cacheEntries *obs.GaugeVec
-	cacheHits    *obs.GaugeVec
-	cacheMisses  *obs.GaugeVec
-	evictions    *obs.GaugeVec
-	retries      *obs.GaugeVec
-	rejected     *obs.GaugeVec
-	breakerState *obs.GaugeVec
-	breakerOpens *obs.GaugeVec
-	workers      *obs.GaugeVec
-	busyWorkers  *obs.GaugeVec
-	runningJobs  *obs.GaugeVec
-	liveJobs     *obs.GaugeVec
-	taskPanics   *obs.GaugeVec
-	queueDepth   *obs.GaugeVec
-	inflight     *obs.GaugeVec
-	draining     *obs.GaugeVec
+	uptime        *obs.GaugeVec
+	cacheEntries  *obs.GaugeVec
+	cacheHits     *obs.GaugeVec
+	cacheMisses   *obs.GaugeVec
+	evictions     *obs.GaugeVec
+	retries       *obs.GaugeVec
+	rejected      *obs.GaugeVec
+	snapshotSwaps *obs.GaugeVec // serve_registry_snapshot_swaps_total
+	breakerState  *obs.GaugeVec
+	breakerOpens  *obs.GaugeVec
+	workers       *obs.GaugeVec
+	busyWorkers   *obs.GaugeVec
+	runningJobs   *obs.GaugeVec
+	liveJobs      *obs.GaugeVec
+	taskPanics    *obs.GaugeVec
+	queueDepth    *obs.GaugeVec
+	inflight      *obs.GaugeVec
+	draining      *obs.GaugeVec
 }
 
 // NewMetrics builds an empty metrics table.
@@ -71,6 +76,10 @@ func NewMetrics() *Metrics {
 			"requests refused by admission control (429), by endpoint", "endpoint"),
 		panics: reg.Counter("serve_panics_total",
 			"handler panics converted to 500 by the recovery middleware"),
+		predictions: reg.Counter("serve_predictions_total",
+			"predictions served, by cache outcome and request shape", "cache", "batch"),
+		batchSize: reg.Histogram("serve_batch_size",
+			"queries per batched /predict request", batchSizeBuckets),
 		uptime: reg.Gauge("lmoserve_uptime_seconds",
 			"seconds since the service started"),
 		cacheEntries: reg.Gauge("lmoserve_cache_entries",
@@ -85,6 +94,8 @@ func NewMetrics() *Metrics {
 			"extra estimation attempts after a failed one"),
 		rejected: reg.Gauge("lmoserve_breaker_rejected_total",
 			"estimation lookups fast-failed by an open circuit"),
+		snapshotSwaps: reg.Gauge("serve_registry_snapshot_swaps_total",
+			"copy-on-write registry snapshots published"),
 		breakerState: reg.Gauge("serve_breaker_state",
 			"estimation circuit state per platform key (0 closed, 1 half-open, 2 open)", "key"),
 		breakerOpens: reg.Gauge("serve_breaker_opens_total",
@@ -111,8 +122,35 @@ func NewMetrics() *Metrics {
 	m.panics.Add(0)
 	m.shed.Add(0, "predict")
 	m.shed.Add(0, "estimate")
+	// Seed every prediction label pair so the exposition (and the
+	// stable-order JSON report) lists them from the first render.
+	for _, cache := range []string{"hit", "estimated", "joined"} {
+		m.predictions.Add(0, cache, "unary")
+		m.predictions.Add(0, cache, "batch")
+	}
 	return m
 }
+
+// batchSizeBuckets bounds the serve_batch_size histogram: powers of
+// four spanning a single query to the largest sane batch.
+var batchSizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096}
+
+// Prediction records n served predictions for a cache outcome ("hit",
+// "estimated", "joined") and request shape ("unary", "batch").
+func (m *Metrics) Prediction(cache, batch string, n int64) {
+	if n > 0 {
+		m.predictions.Add(float64(n), cache, batch)
+	}
+}
+
+// PredictionCount reads the served-prediction counter for one label
+// pair.
+func (m *Metrics) PredictionCount(cache, batch string) int64 {
+	return int64(m.predictions.Value(cache, batch))
+}
+
+// BatchSize records the query count of one batched /predict request.
+func (m *Metrics) BatchSize(n int) { m.batchSize.Observe(float64(n)) }
 
 // Observe records one request.
 func (m *Metrics) Observe(endpoint string, status int, took time.Duration) {
@@ -152,6 +190,15 @@ type MetricsReport struct {
 	Requests      map[string]endpointStats `json:"requests"`
 	Cache         CacheStats               `json:"cache"`
 	CacheEntries  int                      `json:"cache_entries"`
+	// Predictions counts served predictions keyed "cache/shape"
+	// (e.g. "hit/batch"); BatchSizes summarizes the query counts of
+	// batched /predict requests.
+	Predictions map[string]int64 `json:"predictions,omitempty"`
+	BatchSizes  struct {
+		Count int64   `json:"count"`
+		Sum   float64 `json:"sum"`
+		Max   float64 `json:"max"`
+	} `json:"batch_sizes"`
 	// Shed counts admission-control refusals by endpoint; Panics
 	// counts recovered handler panics.
 	Shed   map[string]int64 `json:"shed,omitempty"`
@@ -216,6 +263,15 @@ func (m *Metrics) Report(reg *Registry, jobs *Jobs, adm *admission, draining boo
 
 	rep.Cache = reg.Stats()
 	rep.CacheEntries = reg.Len()
+	rep.Predictions = map[string]int64{}
+	for _, labels := range m.predictions.LabelSets() {
+		rep.Predictions[labels[0]+"/"+labels[1]] = int64(m.predictions.Value(labels...))
+	}
+	if s, ok := m.batchSize.Sample(); ok {
+		rep.BatchSizes.Count = s.Count
+		rep.BatchSizes.Sum = s.Sum
+		rep.BatchSizes.Max = s.Max
+	}
 	rep.Shed = map[string]int64{}
 	for _, labels := range m.shed.LabelSets() {
 		rep.Shed[labels[0]] = int64(m.shed.Value(labels...))
@@ -252,6 +308,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, reg *Registry, jobs *Jobs, adm *a
 	m.evictions.Set(float64(cs.Evictions))
 	m.retries.Set(float64(cs.Retries))
 	m.rejected.Set(float64(cs.Rejected))
+	m.snapshotSwaps.Set(float64(cs.Swaps))
 	for _, b := range reg.BreakerStates() {
 		m.breakerState.Set(b.state.gaugeValue(), b.Key)
 		m.breakerOpens.Set(float64(b.Opens), b.Key)

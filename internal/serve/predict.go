@@ -1,0 +1,127 @@
+package serve
+
+// The prediction kernel: the per-query evaluate path shared by the
+// unary and batched /predict handlers. It is the part of the service
+// the paper's pitch depends on — closed-form predictions cheap enough
+// to drive online algorithm selection — so it is annotated
+// //lmovet:hotpath and pinned allocation-free by
+// TestPredictHotPathZeroAlloc (run by the bench-smoke CI job): a cached
+// prediction costs a snapshot load, a map probe, and six closed-form
+// evaluations, with no heap traffic.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The model families a registry entry can hold, in render order.
+const (
+	famHockney = iota
+	famHetHockney
+	famLogP
+	famLogGP
+	famPLogP
+	famLMO
+	numFamilies
+)
+
+// familyNames are the JSON keys of the prediction map, indexed by
+// family.
+var familyNames = [numFamilies]string{
+	"hockney", "het-hockney", "logp", "loggp", "plogp", "lmo",
+}
+
+// collectivePredictor is the op/alg prediction surface every model in
+// the zoo implements.
+type collectivePredictor interface {
+	ScatterLinear(root, n, m int) float64
+	ScatterBinomial(root, n, m int) float64
+	GatherLinear(root, n, m int) float64
+	GatherBinomial(root, n, m int) float64
+}
+
+// opAlg encodes a validated (op, alg) pair so the kernel dispatches on
+// an integer instead of re-comparing strings per query.
+type opAlg uint8
+
+// The four collective shapes the service predicts.
+const (
+	opScatterLinear opAlg = iota
+	opScatterBinomial
+	opGatherLinear
+	opGatherBinomial
+)
+
+// parseOpAlg validates an (op, alg) pair, applying the "linear"
+// default, and returns the dispatch code plus the normalized algorithm
+// name.
+func parseOpAlg(op, alg string) (opAlg, string, error) {
+	if op != "scatter" && op != "gather" {
+		return 0, "", fmt.Errorf("op must be scatter or gather")
+	}
+	if alg == "" {
+		alg = "linear"
+	}
+	if alg != "linear" && alg != "binomial" {
+		return 0, "", fmt.Errorf("alg must be linear or binomial")
+	}
+	switch {
+	case op == "scatter" && alg == "linear":
+		return opScatterLinear, alg, nil
+	case op == "scatter":
+		return opScatterBinomial, alg, nil
+	case alg == "linear":
+		return opGatherLinear, alg, nil
+	default:
+		return opGatherBinomial, alg, nil
+	}
+}
+
+// predictInto evaluates every model family the entry holds on the
+// requested collective, writing values into out (indexed by family)
+// and reporting a bitmask of the families present. The arrays live in
+// the caller's frame: the kernel performs no allocation.
+//
+//lmovet:hotpath
+func (e *Entry) predictInto(code opAlg, root, n, m int, out *[numFamilies]float64) uint8 {
+	var mask uint8
+	for i := 0; i < numFamilies; i++ {
+		p := e.preds[i]
+		if p == nil {
+			continue
+		}
+		var v float64
+		switch code {
+		case opScatterLinear:
+			v = p.ScatterLinear(root, n, m)
+		case opScatterBinomial:
+			v = p.ScatterBinomial(root, n, m)
+		case opGatherLinear:
+			v = p.GatherLinear(root, n, m)
+		default:
+			v = p.GatherBinomial(root, n, m)
+		}
+		out[i] = v
+		mask |= 1 << i
+	}
+	return mask
+}
+
+// predMaps pools the per-response prediction maps of the unary path:
+// the map is filled, marshalled, cleared and reused, so steady-state
+// unary predicts allocate no fresh map per request.
+var predMaps = sync.Pool{
+	New: func() any { return make(map[string]float64, numFamilies) },
+}
+
+// predictAll evaluates the entry on the requested collective into the
+// provided map (obtained from predMaps and reused across requests).
+func predictAll(e *Entry, code opAlg, root, n, m int, out map[string]float64) {
+	var vals [numFamilies]float64
+	mask := e.predictInto(code, root, n, m, &vals)
+	for i := 0; i < numFamilies; i++ {
+		if mask&(1<<i) != 0 {
+			out[familyNames[i]] = vals[i]
+		}
+	}
+}

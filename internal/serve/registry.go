@@ -4,14 +4,14 @@
 // campaign engine, and the HTTP API over both — the estimate-once /
 // predict-many workflow of the paper's companion tool, as a service
 // hardened for production traffic (admission control, load shedding,
-// graceful drain; see DESIGN.md §10).
+// graceful drain, lock-free snapshot reads; see DESIGN.md §10, §12).
 package serve
 
 import (
-	"container/list"
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/models"
@@ -37,7 +37,8 @@ func keyOfMeta(m *models.Meta) Key {
 }
 
 // Entry is a registry-resident model set with its reconstructed
-// predictors.
+// predictors. Entries are immutable after construction: the snapshot
+// read path hands them to concurrent readers without synchronization.
 type Entry struct {
 	Key  Key
 	File *models.ModelFile
@@ -48,6 +49,16 @@ type Entry struct {
 	LogGP *models.LogGP
 	PLogP *models.PLogP
 	LMO   *models.LMOX
+
+	// preds indexes the predictors by family (famHockney..famLMO); a
+	// nil slot means the family is absent from the file. Built once
+	// here so the prediction kernel never re-derives it per query.
+	preds [numFamilies]collectivePredictor
+
+	// lastUsed is the registry's recency stamp (a tick of the
+	// registry's access clock). Readers store it without a lock; the
+	// eviction scan — on the serialized write path — reads it.
+	lastUsed atomic.Int64
 }
 
 // newEntry reconstructs the predictors of a model file. The file must
@@ -60,7 +71,7 @@ func newEntry(mf *models.ModelFile) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Entry{
+	e := &Entry{
 		Key:   keyOfMeta(mf.Meta),
 		File:  mf,
 		Hom:   mf.Hockney,
@@ -69,7 +80,29 @@ func newEntry(mf *models.ModelFile) (*Entry, error) {
 		LogGP: mf.LogGP,
 		PLogP: plogp,
 		LMO:   mf.GetLMO(),
-	}, nil
+	}
+	// A typed nil pointer boxed into an interface is non-nil; only box
+	// the families that are actually present so the kernel's nil check
+	// stays a plain interface comparison.
+	if e.Hom != nil {
+		e.preds[famHockney] = e.Hom
+	}
+	if e.Het != nil {
+		e.preds[famHetHockney] = e.Het
+	}
+	if e.LogP != nil {
+		e.preds[famLogP] = e.LogP
+	}
+	if e.LogGP != nil {
+		e.preds[famLogGP] = e.LogGP
+	}
+	if e.PLogP != nil {
+		e.preds[famPLogP] = e.PLogP
+	}
+	if e.LMO != nil {
+		e.preds[famLMO] = e.LMO
+	}
+	return e, nil
 }
 
 // CacheStats are the registry's monotone counters.
@@ -81,6 +114,7 @@ type CacheStats struct {
 	Evictions   int64 `json:"evictions"`   // entries dropped by the LRU bound
 	Retries     int64 `json:"retries"`     // extra estimation attempts after a failure
 	Rejected    int64 `json:"rejected"`    // lookups fast-failed by an open circuit
+	Swaps       int64 `json:"swaps"`       // copy-on-write snapshot publications
 }
 
 // flight is one in-progress estimation shared by every concurrent
@@ -108,18 +142,37 @@ type RegistryOptions struct {
 	Sleep func(ctx context.Context, d time.Duration) bool
 }
 
+// regSnapshot is one immutable published view of the cache. Readers
+// load it with a single atomic pointer read; writers build a fresh map
+// and publish it, never mutating a map a reader might hold.
+type regSnapshot struct {
+	entries map[Key]*Entry
+}
+
 // Registry is the LRU-bounded, singleflight-deduped model store.
+//
+// Reads are lock-free: Lookup/LookupHit resolve against a copy-on-write
+// snapshot published through an atomic pointer, so concurrent /predict
+// traffic never contends on a mutex — LRU accounting is a per-entry
+// atomic recency stamp, off the read path's critical section entirely.
+// Writers (Put, estimation completions, evictions) still serialize
+// through mu and the existing singleflight/breaker machinery, rebuild
+// the entry map, and publish it as the next snapshot.
+//
 // Concurrent GetOrEstimate calls for the same un-estimated key run one
 // estimation; the others wait for it. A per-key circuit breaker guards
 // the estimation path: consecutive failures open the circuit and
 // subsequent lookups fail fast until a cooldown admits a probe.
 type Registry struct {
-	mu      sync.Mutex
+	snap  atomic.Pointer[regSnapshot]
+	clock atomic.Int64 // recency sequence; every access ticks it
+	hits  atomic.Int64 // read-path hit counter (lock-free path)
+	swaps atomic.Int64 // snapshot publications
+
+	mu      sync.Mutex // serializes writers and the flight table
 	cap     int
-	order   *list.List // front = most recently used; values are *Entry
-	entries map[Key]*list.Element
 	flights map[Key]*flight
-	stats   CacheStats
+	stats   CacheStats // write-path counters (Hits/Swaps live in atomics)
 
 	breakers *breakerSet
 	sleep    func(ctx context.Context, d time.Duration) bool
@@ -141,16 +194,16 @@ func NewRegistry(capacity int, estimate func(context.Context, Key) (*models.Mode
 		sleep = func(ctx context.Context, d time.Duration) bool { return ctx.Err() == nil }
 	}
 	cfg := opt.Breaker.withDefaults()
-	return &Registry{
+	r := &Registry{
 		cap:      capacity,
-		order:    list.New(),
-		entries:  make(map[Key]*list.Element),
-		flights:  make(map[Key]*flight),
+		flights:  map[Key]*flight{},
 		breakers: newBreakerSet(cfg, opt.Seed, opt.Now),
 		sleep:    sleep,
 		retries:  cfg.MaxRetries,
 		estimate: estimate,
 	}
+	r.snap.Store(&regSnapshot{entries: map[Key]*Entry{}})
+	return r
 }
 
 // Put inserts a model file (from a preload or a completed estimation
@@ -166,43 +219,67 @@ func (r *Registry) Put(mf *models.ModelFile) (*Entry, error) {
 	return e, nil
 }
 
+// insertLocked adds e to a fresh copy of the current snapshot, evicts
+// beyond capacity, and publishes the copy. Callers hold mu.
 func (r *Registry) insertLocked(e *Entry) {
-	if el, ok := r.entries[e.Key]; ok {
-		el.Value = e
-		r.order.MoveToFront(el)
-		return
+	old := r.snap.Load().entries
+	next := make(map[Key]*Entry, len(old)+1)
+	// Map-to-map copy: entries are independent, insertion order cannot
+	// leak into the (unordered) result.
+	//lmovet:commutative
+	for k, v := range old {
+		next[k] = v
 	}
-	r.entries[e.Key] = r.order.PushFront(e)
-	for r.order.Len() > r.cap {
-		last := r.order.Back()
-		delete(r.entries, last.Value.(*Entry).Key)
-		r.order.Remove(last)
+	e.lastUsed.Store(r.clock.Add(1))
+	next[e.Key] = e
+	for len(next) > r.cap {
+		var victim Key
+		oldest := int64(1<<63 - 1)
+		// Min-scan over unique recency stamps: the minimum is the same
+		// whatever order the map yields.
+		//lmovet:commutative
+		for k, v := range next {
+			if lu := v.lastUsed.Load(); lu < oldest {
+				oldest, victim = lu, k
+			}
+		}
+		delete(next, victim)
 		r.stats.Evictions++
 	}
+	r.publishLocked(next)
+}
+
+// publishLocked installs entries as the next snapshot. Callers hold mu.
+func (r *Registry) publishLocked(entries map[Key]*Entry) {
+	r.snap.Store(&regSnapshot{entries: entries})
+	r.swaps.Add(1)
 }
 
 // Lookup returns the cached entry without estimating (no counters).
+// Lock-free: it reads the current snapshot and stamps recency with an
+// atomic store.
 func (r *Registry) Lookup(k Key) (*Entry, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if el, ok := r.entries[k]; ok {
-		r.order.MoveToFront(el)
-		return el.Value.(*Entry), true
+	e, ok := r.snap.Load().entries[k]
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	e.lastUsed.Store(r.clock.Add(1))
+	return e, true
 }
 
 // LookupHit is Lookup counting a cache hit — the /predict fast path,
-// which must not touch admission control or the estimation machinery.
+// which must not touch admission control, the estimation machinery, or
+// any lock: a snapshot load, a map probe and two atomic adds.
+//
+//lmovet:hotpath
 func (r *Registry) LookupHit(k Key) (*Entry, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if el, ok := r.entries[k]; ok {
-		r.order.MoveToFront(el)
-		r.stats.Hits++
-		return el.Value.(*Entry), true
+	e, ok := r.snap.Load().entries[k]
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	e.lastUsed.Store(r.clock.Add(1))
+	r.hits.Add(1)
+	return e, true
 }
 
 // GetOrEstimate returns the entry for k, estimating it when absent.
@@ -212,12 +289,17 @@ func (r *Registry) LookupHit(k Key) (*Entry, bool) {
 // open the call fails fast with a *BreakerOpenError and no estimation
 // is attempted.
 func (r *Registry) GetOrEstimate(ctx context.Context, k Key) (*Entry, bool, error) {
+	if e, ok := r.LookupHit(k); ok {
+		return e, true, nil
+	}
 	r.mu.Lock()
-	if el, ok := r.entries[k]; ok {
-		r.order.MoveToFront(el)
-		r.stats.Hits++
+	// Re-check under the writer lock: an estimation may have landed
+	// between the lock-free probe and here.
+	if e, ok := r.snap.Load().entries[k]; ok {
+		e.lastUsed.Store(r.clock.Add(1))
+		r.hits.Add(1)
 		r.mu.Unlock()
-		return el.Value.(*Entry), true, nil
+		return e, true, nil
 	}
 	if f, ok := r.flights[k]; ok {
 		r.stats.Deduped++
@@ -294,39 +376,51 @@ func (r *Registry) runEstimate(ctx context.Context, k Key) (*models.ModelFile, e
 // BreakerStates snapshots the per-key circuit breakers, sorted by key.
 func (r *Registry) BreakerStates() []BreakerStatus { return r.breakers.states() }
 
+// byRecency returns the snapshot's entries sorted most recently used
+// first. Stamps are unique (a strictly increasing atomic sequence), so
+// the order is total and deterministic for a quiesced registry.
+func (r *Registry) byRecency() []*Entry {
+	s := r.snap.Load().entries
+	out := make([]*Entry, 0, len(s))
+	// Collecting every value for a full sort: order-independent.
+	//lmovet:commutative
+	for _, e := range s {
+		out = append(out, e)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].lastUsed.Load() > out[j-1].lastUsed.Load(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
 // Keys lists the cached keys, most recently used first.
 func (r *Registry) Keys() []Key {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Key, 0, r.order.Len())
-	for el := r.order.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*Entry).Key)
+	es := r.byRecency()
+	out := make([]Key, len(es))
+	for i, e := range es {
+		out[i] = e.Key
 	}
 	return out
 }
 
 // Entries snapshots the cached entries, most recently used first,
-// without touching the recency order.
-func (r *Registry) Entries() []*Entry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]*Entry, 0, r.order.Len())
-	for el := r.order.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*Entry))
-	}
-	return out
-}
+// without touching the recency stamps.
+func (r *Registry) Entries() []*Entry { return r.byRecency() }
 
 // Stats snapshots the cache counters.
 func (r *Registry) Stats() CacheStats {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	st := r.stats
+	r.mu.Unlock()
+	st.Hits = r.hits.Load()
+	st.Swaps = r.swaps.Load()
+	return st
 }
 
+// Swaps is the number of snapshot publications so far.
+func (r *Registry) Swaps() int64 { return r.swaps.Load() }
+
 // Len is the number of cached entries.
-func (r *Registry) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.order.Len()
-}
+func (r *Registry) Len() int { return len(r.snap.Load().entries) }
