@@ -1,12 +1,17 @@
-// Command lmovet runs the repository's determinism and hot-path lint
-// suite (internal/analysis) over the module:
+// Command lmovet runs the repository's determinism, hot-path and
+// concurrency lint suite (internal/analysis) over the module:
 //
 //	go run ./cmd/lmovet ./...
+//	go run ./cmd/lmovet -json . ./internal/... ./cmd/...
 //
-// It loads every non-test package, applies the five analyzers
-// according to the policy in internal/analysis/policy.go (walltime,
-// globalrand, maporder, vtimeblock, hotalloc) and prints findings as
-// file:line:col: analyzer: message. Exit status is 0 when the tree is
+// It loads every non-test package, applies the analyzers according to
+// the policy in internal/analysis/policy.go (walltime, globalrand,
+// maporder, vtimeblock, hotalloc, snapshotmut, atomicmix, poolreuse,
+// directiveaudit) and prints findings as
+// file:line:col: analyzer: message — or, with -json, as a JSON array
+// of {file, line, col, analyzer, message} objects on stdout for
+// editor and CI integration (.github/lmovet-problem-matcher.json
+// consumes the plain format). Exit status is 0 when the tree is
 // clean, 1 when there are findings, 2 when the module fails to load.
 //
 // Arguments other than package patterns are not needed: the suite
@@ -15,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -24,10 +30,32 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+// jsonFinding is the machine-readable diagnostic record emitted under
+// -json. Positions are 1-based, file paths relative to the working
+// directory when possible.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout *os.File) int {
+	jsonOut := false
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lmovet:", err)
@@ -44,30 +72,46 @@ func run(args []string) int {
 		return 2
 	}
 
-	findings := 0
+	var out []jsonFinding
 	for _, pkg := range mod.Pkgs {
-		if !selected(mod.Path, pkg.Path, args) {
+		if !selected(mod.Path, pkg.Path, patterns) {
 			continue
 		}
-		for _, a := range analysis.Scope(pkg.Path) {
-			diags, err := analysis.RunAnalyzer(a, mod.Fset, pkg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "lmovet:", err)
-				return 2
+		findings, err := analysis.RunAnalyzers(analysis.Scope(pkg.Path), mod.Fset, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lmovet:", err)
+			return 2
+		}
+		for _, f := range findings {
+			pos := mod.Fset.Position(f.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
 			}
-			for _, d := range diags {
-				pos := mod.Fset.Position(d.Pos)
-				file := pos.Filename
-				if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
-					file = rel
-				}
-				fmt.Printf("%s:%d:%d: %s: %s\n", file, pos.Line, pos.Column, a.Name, d.Message)
-				findings++
-			}
+			out = append(out, jsonFinding{
+				File: file, Line: pos.Line, Col: pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "lmovet: %d finding(s)\n", findings)
+
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if out == nil {
+			out = []jsonFinding{} // emit [], not null, for a clean tree
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "lmovet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range out {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(out) > 0 {
+		fmt.Fprintf(os.Stderr, "lmovet: %d finding(s)\n", len(out))
 		return 1
 	}
 	return 0

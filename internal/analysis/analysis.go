@@ -1,8 +1,8 @@
 // Package analysis is the repository's static-analysis layer: a
 // dependency-free reimplementation of the golang.org/x/tools
 // go/analysis contract (the module deliberately has no third-party
-// requirements), plus the five lmovet analyzers that mechanically
-// enforce the simulator's determinism and hot-path invariants.
+// requirements), plus the lmovet analyzers that mechanically enforce
+// the simulator's determinism, hot-path and concurrency invariants.
 //
 // The framework mirrors the upstream API where it matters — an
 // Analyzer owns a Run function over a Pass; a Pass exposes the
@@ -11,7 +11,9 @@
 // became available. Packages are loaded by the module-aware loader in
 // load.go (module packages are type-checked from source, the standard
 // library through go/importer's source compiler), so the whole suite
-// runs with nothing but the Go toolchain.
+// runs with nothing but the Go toolchain. Interprocedural analyzers
+// additionally share a package-level call graph (callgraph.go),
+// built lazily once per package and reached through Pass.CallGraph.
 //
 // Source files opt out of individual checks with directive comments:
 //
@@ -21,6 +23,9 @@
 //
 // A directive written as a trailing comment applies to its own line; a
 // standalone directive comment applies to the line directly below it.
+// The directiveaudit analyzer reports directives that no longer
+// suppress or annotate anything, so stale escape hatches cannot
+// accumulate.
 package analysis
 
 import (
@@ -47,6 +52,14 @@ type Diagnostic struct {
 	Message string
 }
 
+// Finding is one diagnostic attributed to the analyzer that produced
+// it — the multichecker's output unit.
+type Finding struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
 // Pass carries one analyzer's view of one type-checked package.
 type Pass struct {
 	Analyzer  *Analyzer
@@ -61,6 +74,7 @@ type Pass struct {
 	Report func(Diagnostic)
 
 	directives *directiveIndex
+	pkg        *Package // owning package, for the shared call-graph cache
 }
 
 // Reportf formats and reports a diagnostic at pos.
@@ -71,7 +85,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Commutative reports whether the statement at pos carries an
 // //lmovet:commutative directive (trailing, or on the line above).
 func (p *Pass) Commutative(pos token.Pos) bool {
-	return p.directives.commutative[p.lineOf(pos)]
+	if rec := p.directives.commutative[p.lineOf(pos)]; rec != nil {
+		rec.usedAny = true
+		return true
+	}
+	return false
 }
 
 // Hotpath reports whether decl is annotated //lmovet:hotpath, either
@@ -80,11 +98,18 @@ func (p *Pass) Hotpath(decl *ast.FuncDecl) bool {
 	if decl.Doc != nil {
 		for _, c := range decl.Doc.List {
 			if d, ok := parseDirective(c.Text); ok && d.kind == "hotpath" {
+				if rec := p.directives.hotpath[p.lineOf(c.Pos())]; rec != nil {
+					rec.usedAny = true
+				}
 				return true
 			}
 		}
 	}
-	return p.directives.hotpath[p.lineOf(decl.Pos())]
+	if rec := p.directives.hotpath[p.lineOf(decl.Pos())]; rec != nil {
+		rec.usedAny = true
+		return true
+	}
+	return false
 }
 
 func (p *Pass) lineOf(pos token.Pos) int {
@@ -92,9 +117,13 @@ func (p *Pass) lineOf(pos token.Pos) int {
 }
 
 // allowedAt reports whether the analyzer's findings are suppressed on
-// the line containing pos.
+// the line containing pos, marking the suppressing directive used.
 func (p *Pass) allowedAt(name string, pos token.Pos) bool {
-	return p.directives.allow[p.lineOf(pos)][name]
+	if rec := p.directives.allow[p.lineOf(pos)][name]; rec != nil {
+		rec.used[name] = true
+		return true
+	}
+	return false
 }
 
 // directive is one parsed //lmovet:... comment.
@@ -114,7 +143,31 @@ func parseDirective(text string) (directive, bool) {
 	if len(fields) == 0 {
 		return directive{}, false
 	}
+	// Arguments end at an embedded "//": everything after it is
+	// commentary (a justification, or a fixture's // want expectation).
+	for i, f := range fields {
+		if f == "//" || strings.HasPrefix(f, "//") {
+			fields = fields[:i]
+			break
+		}
+	}
+	if len(fields) == 0 {
+		return directive{}, false
+	}
 	return directive{kind: fields[0], args: fields[1:]}, true
+}
+
+// directiveRecord is one //lmovet:... comment with its usage state:
+// whether any analyzer consulted it successfully during a run. The
+// directiveaudit analyzer reads these to report stale directives, so
+// an index (and the passes over it) must be shared across the
+// analyzers of one package — RunAnalyzers arranges that.
+type directiveRecord struct {
+	pos     token.Pos
+	kind    string
+	args    []string
+	used    map[string]bool // allow: analyzer names that suppressed here
+	usedAny bool            // commutative/hotpath: governed something real
 }
 
 // directiveIndex maps source lines to the directives that govern them.
@@ -122,16 +175,17 @@ func parseDirective(text string) (directive, bool) {
 // additionally governs line L+1, so it can sit directly above the
 // statement it describes.
 type directiveIndex struct {
-	allow       map[int]map[string]bool
-	commutative map[int]bool
-	hotpath     map[int]bool
+	records     []*directiveRecord
+	allow       map[int]map[string]*directiveRecord
+	commutative map[int]*directiveRecord
+	hotpath     map[int]*directiveRecord
 }
 
 func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
 	idx := &directiveIndex{
-		allow:       map[int]map[string]bool{},
-		commutative: map[int]bool{},
-		hotpath:     map[int]bool{},
+		allow:       map[int]map[string]*directiveRecord{},
+		commutative: map[int]*directiveRecord{},
+		hotpath:     map[int]*directiveRecord{},
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -140,52 +194,98 @@ func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex
 				if !ok {
 					continue
 				}
+				rec := &directiveRecord{
+					pos: c.Pos(), kind: d.kind, args: d.args,
+					used: map[string]bool{},
+				}
+				idx.records = append(idx.records, rec)
 				line := fset.Position(c.Pos()).Line
 				for _, l := range []int{line, line + 1} {
 					switch d.kind {
 					case "allow":
 						m := idx.allow[l]
 						if m == nil {
-							m = map[string]bool{}
+							m = map[string]*directiveRecord{}
 							idx.allow[l] = m
 						}
 						for _, a := range d.args {
-							m[a] = true
+							m[a] = rec
 						}
 					case "commutative":
-						idx.commutative[l] = true
+						idx.commutative[l] = rec
 					case "hotpath":
-						idx.hotpath[l] = true
+						idx.hotpath[l] = rec
 					}
 				}
 			}
 		}
 	}
+	sort.Slice(idx.records, func(i, j int) bool { return idx.records[i].pos < idx.records[j].pos })
 	return idx
+}
+
+// RunAnalyzers applies the analyzers to one loaded package in order,
+// sharing one directive index (so directiveaudit, which must run last,
+// sees which //lmovet: comments the earlier analyzers actually
+// consulted) and one call graph. The combined findings are returned
+// sorted by (position, analyzer, message) with exact duplicates
+// removed — two analyzers reporting the identical message at the
+// identical position yield one finding, and report order never
+// depends on analyzer registration order.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, pkg *Package) ([]Finding, error) {
+	idx := buildDirectiveIndex(fset, pkg.Files)
+	var out []Finding
+	for _, a := range analyzers {
+		a := a
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			directives: idx,
+			pkg:        pkg,
+		}
+		pass.Report = func(d Diagnostic) {
+			if pass.allowedAt(a.Name, d.Pos) {
+				return
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: d.Pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
+	})
+	dedup := out[:0]
+	for i, f := range out {
+		if i > 0 && f == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup, nil
 }
 
 // RunAnalyzer applies one analyzer to one loaded package and returns
 // its findings sorted by position, with //lmovet:allow suppressions
 // already applied.
 func RunAnalyzer(a *Analyzer, fset *token.FileSet, pkg *Package) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	pass := &Pass{
-		Analyzer:   a,
-		Fset:       fset,
-		Files:      pkg.Files,
-		Pkg:        pkg.Types,
-		TypesInfo:  pkg.Info,
-		directives: buildDirectiveIndex(fset, pkg.Files),
+	findings, err := RunAnalyzers([]*Analyzer{a}, fset, pkg)
+	if err != nil {
+		return nil, err
 	}
-	pass.Report = func(d Diagnostic) {
-		if pass.allowedAt(a.Name, d.Pos) {
-			return
-		}
-		diags = append(diags, d)
+	diags := make([]Diagnostic, len(findings))
+	for i, f := range findings {
+		diags[i] = Diagnostic{Pos: f.Pos, Message: f.Message}
 	}
-	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %w", a.Name, err)
-	}
-	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
 }

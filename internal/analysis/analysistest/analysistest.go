@@ -47,6 +47,28 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 
 func runOne(t *testing.T, a *analysis.Analyzer, fixture string) {
 	t.Helper()
+	runSuiteOne(t, []*analysis.Analyzer{a}, fixture)
+}
+
+// RunSuite loads each fixture package and applies the analyzers
+// through analysis.RunAnalyzers — one shared directive index and call
+// graph, the production execution path — comparing the combined,
+// deduplicated findings against // want expectations. Use it for
+// directiveaudit fixtures, whose results depend on the usage marks
+// the other analyzers leave while running.
+func RunSuite(t *testing.T, analyzers []*analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx, func(t *testing.T) {
+			t.Helper()
+			runSuiteOne(t, analyzers, fx)
+		})
+	}
+}
+
+func runSuiteOne(t *testing.T, analyzers []*analysis.Analyzer, fixture string) {
+	t.Helper()
 	fset := token.NewFileSet()
 	ld := &fixtureLoader{
 		fset:   fset,
@@ -58,9 +80,13 @@ func runOne(t *testing.T, a *analysis.Analyzer, fixture string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
-	diags, err := analysis.RunAnalyzer(a, fset, pkg)
+	findings, err := analysis.RunAnalyzers(analyzers, fset, pkg)
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, fixture, err)
+		t.Fatalf("running suite on %s: %v", fixture, err)
+	}
+	diags := make([]analysis.Diagnostic, len(findings))
+	for i, f := range findings {
+		diags[i] = analysis.Diagnostic{Pos: f.Pos, Message: f.Message}
 	}
 	checkExpectations(t, fset, pkg.Files, diags)
 }

@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Atomicmix flags struct fields that are accessed both through
+// sync/atomic and through plain loads or stores. Mixing the two breaks
+// the memory model from both directions: a plain read racing an
+// atomic write is still a data race, and a plain write makes every
+// atomic read on other cores unreliable. The fix is always one of two
+// consistent disciplines — all accesses atomic, or all accesses under
+// one mutex.
+//
+// Two field families are covered:
+//
+//   - atomic-typed fields (atomic.Int64, atomic.Pointer[T], ...):
+//     their methods are the only sound accessors, so any plain
+//     selector read/write of the field's value is impossible by
+//     construction — what CAN go wrong is shadow fields, below;
+//   - plain integer/pointer fields passed by address to
+//     atomic.AddInt64 / LoadUint32 / StoreInt32 / CompareAndSwap...:
+//     once one site uses the atomic functions, a plain `s.f++` or
+//     `if s.f > n` elsewhere is flagged, unless every plain access
+//     sits in a function that locks a mutex field of the same struct
+//     (the mutex-guard discipline, common for writer-side code).
+//
+// Sites where the mix is provably benign — init before the value
+// escapes, or a section the analyzer cannot see is single-threaded —
+// are annotated //lmovet:allow atomicmix.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag struct fields accessed both atomically and with plain loads/stores",
+	Run:  runAtomicmix,
+}
+
+// atomicFuncs maps sync/atomic package-level function names to the
+// index of the pointer argument they operate on.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+// fieldAccess is one access to a struct field, classified.
+type fieldAccess struct {
+	pos    token.Pos
+	atomic bool // via sync/atomic function or atomic-type method
+	write  bool
+	fn     *types.Func // enclosing declared function, nil at package scope
+}
+
+func runAtomicmix(pass *Pass) error {
+	info := pass.TypesInfo
+	cg := pass.CallGraph()
+
+	accesses := map[*types.Var][]fieldAccess{} // field object -> accesses
+	record := func(obj types.Object, a fieldAccess) {
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			return
+		}
+		accesses[v] = append(accesses[v], a)
+	}
+
+	// fieldOf resolves a selector expression to the field object it
+	// names, or nil.
+	fieldOf := func(e ast.Expr) (types.Object, *ast.SelectorExpr) {
+		for {
+			switch v := e.(type) {
+			case *ast.ParenExpr:
+				e = v.X
+			case *ast.UnaryExpr:
+				if v.Op != token.AND {
+					return nil, nil
+				}
+				e = v.X
+			case *ast.SelectorExpr:
+				return info.Uses[v.Sel], v
+			default:
+				return nil, nil
+			}
+		}
+	}
+
+	// isAtomicAPICall classifies a call as atomic access to a field and
+	// returns the field, or nil: sync/atomic package functions taking
+	// &s.f, and methods on atomic.* typed fields (s.f.Load(), s.f.Add(1)).
+	classifyCall := func(call *ast.CallExpr, fn *types.Func) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		callee, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		sig, _ := callee.Type().(*types.Signature)
+		if sig == nil {
+			return
+		}
+		if sig.Recv() != nil {
+			// Method on an atomic.* typed field: s.f.Store(v).
+			if obj, _ := fieldOf(sel.X); obj != nil {
+				record(obj, fieldAccess{pos: call.Pos(), atomic: true, write: isAtomicWriteMethod(callee.Name()), fn: fn})
+			}
+			return
+		}
+		// Package function: atomic.AddInt64(&s.f, 1).
+		if !atomicFuncs[callee.Name()] || len(call.Args) == 0 {
+			return
+		}
+		if obj, _ := fieldOf(call.Args[0]); obj != nil {
+			record(obj, fieldAccess{pos: call.Pos(), atomic: true, write: isAtomicWriteFunc(callee.Name()), fn: fn})
+		}
+	}
+
+	// Walk every function body, recording plain selector reads/writes
+	// and atomic API calls per field.
+	for _, topFn := range cg.Functions() {
+		fn := topFn
+		fd := cg.Decl(fn)
+		// Selector expressions consumed by an atomic call are recorded
+		// as atomic, not plain; track those nodes to skip them in the
+		// generic selector walk.
+		atomicSel := map[ast.Node]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				callee, _ := info.Uses[sel.Sel].(*types.Func)
+				if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "sync/atomic" {
+					if callee.Type().(*types.Signature).Recv() != nil {
+						if _, fsel := fieldOf(sel.X); fsel != nil {
+							atomicSel[fsel] = true
+						}
+					} else if len(call.Args) > 0 {
+						if _, fsel := fieldOf(call.Args[0]); fsel != nil {
+							atomicSel[fsel] = true
+						}
+					}
+				}
+			}
+			classifyCall(call, fn)
+			return true
+		})
+
+		// Plain accesses: writes via assignment/incdec targets, reads
+		// everywhere else. Skip selectors feeding the atomic API.
+		writes := map[ast.Node]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range v.Lhs {
+					if obj, fsel := fieldOf(lhs); obj != nil && !atomicSel[fsel] {
+						writes[fsel] = true
+						record(obj, fieldAccess{pos: lhs.Pos(), write: true, fn: fn})
+					}
+				}
+			case *ast.IncDecStmt:
+				if obj, fsel := fieldOf(v.X); obj != nil && !atomicSel[fsel] {
+					writes[fsel] = true
+					record(obj, fieldAccess{pos: v.X.Pos(), write: true, fn: fn})
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSel[sel] || writes[sel] {
+				return true
+			}
+			obj, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !obj.IsField() {
+				return true
+			}
+			// A selector that is the receiver of a method call is not a
+			// value read of the field itself when the method belongs to
+			// the field's type (s.mu.Lock() is not a read of mu's value
+			// in the racy sense) — but for non-atomic fields we only
+			// care about integer/pointer fields anyway, which have no
+			// methods. Record as a plain read.
+			record(obj, fieldAccess{pos: sel.Pos(), fn: fn})
+			return true
+		})
+	}
+
+	// locksOwnMutex reports whether fn's body calls Lock (or RLock) on
+	// a sync.Mutex/RWMutex-typed field — the guard heuristic that
+	// legitimizes plain access under the all-accesses-locked
+	// discipline.
+	lockCache := map[*types.Func]bool{}
+	locksOwnMutex := func(fn *types.Func) bool {
+		if fn == nil {
+			return false
+		}
+		if v, ok := lockCache[fn]; ok {
+			return v
+		}
+		fd := cg.Decl(fn)
+		found := false
+		if fd != nil {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				callee, ok := info.Uses[sel.Sel].(*types.Func)
+				if !ok || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+					return true
+				}
+				if callee.Name() == "Lock" || callee.Name() == "RLock" {
+					found = true
+				}
+				return true
+			})
+		}
+		lockCache[fn] = found
+		return found
+	}
+
+	// Report: fields with at least one atomic access and at least one
+	// plain access whose enclosing function does not hold a lock.
+	var fields []*types.Var
+	for f := range accesses {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, f := range fields {
+		accs := accesses[f]
+		hasAtomic := false
+		for _, a := range accs {
+			if a.atomic {
+				hasAtomic = true
+				break
+			}
+		}
+		if !hasAtomic {
+			continue
+		}
+		sort.Slice(accs, func(i, j int) bool { return accs[i].pos < accs[j].pos })
+		for _, a := range accs {
+			if a.atomic {
+				continue
+			}
+			if locksOwnMutex(a.fn) {
+				continue
+			}
+			kind := "read"
+			if a.write {
+				kind = "write"
+			}
+			pass.Reportf(a.pos,
+				"plain %s of field %s, which is also accessed via sync/atomic; mixed access is a data race — use atomic operations everywhere or guard every access with one mutex",
+				kind, f.Name())
+		}
+	}
+	return nil
+}
+
+// isAtomicWriteMethod classifies atomic.* type methods as writes.
+func isAtomicWriteMethod(name string) bool {
+	switch name {
+	case "Store", "Add", "Swap", "CompareAndSwap", "And", "Or":
+		return true
+	}
+	return false
+}
+
+// isAtomicWriteFunc classifies sync/atomic package functions as writes.
+func isAtomicWriteFunc(name string) bool {
+	switch {
+	case len(name) >= 3 && name[:3] == "Add":
+		return true
+	case len(name) >= 5 && name[:5] == "Store":
+		return true
+	case len(name) >= 4 && name[:4] == "Swap":
+		return true
+	case len(name) >= 14 && name[:14] == "CompareAndSwap":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestRunAnalyzersDedupAndOrder pins the multichecker's output
+// contract: findings come back sorted by (position, analyzer, message)
+// regardless of analyzer registration order, and exact duplicates —
+// the same analyzer reporting the same message at the same position
+// twice — collapse to one finding. Distinct analyzers reporting at the
+// same position both survive.
+func TestRunAnalyzersDedupAndOrder(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("fake.go", -1, 1000)
+	at := func(off int) token.Pos { return f.Pos(off) }
+
+	zeta := &Analyzer{
+		Name: "zeta",
+		Run: func(p *Pass) error {
+			p.Reportf(at(10), "shared position")
+			p.Reportf(at(5), "early finding")
+			p.Reportf(at(5), "early finding") // exact duplicate: dropped
+			return nil
+		},
+	}
+	alpha := &Analyzer{
+		Name: "alpha",
+		Run: func(p *Pass) error {
+			p.Reportf(at(10), "shared position")
+			return nil
+		},
+	}
+
+	pkg := &Package{}
+	findings, err := RunAnalyzers([]*Analyzer{zeta, alpha}, fset, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []Finding{
+		{Analyzer: "zeta", Pos: at(5), Message: "early finding"},
+		{Analyzer: "alpha", Pos: at(10), Message: "shared position"},
+		{Analyzer: "zeta", Pos: at(10), Message: "shared position"},
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d: %+v", len(findings), len(want), findings)
+	}
+	for i, w := range want {
+		if findings[i] != w {
+			t.Errorf("finding[%d] = %+v, want %+v", i, findings[i], w)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+// Directiveaudit reports stale //lmovet: directives — escape hatches
+// that no longer suppress or annotate anything. Every other analyzer
+// marks the directives it consults (an allow that actually dropped a
+// finding, a commutative that governed a map range, a hotpath that
+// made a function hot), so by the time this pass runs the usage state
+// is complete. It must therefore be LAST in every analyzer list;
+// RunAnalyzers shares the one directive index that makes this work.
+//
+// Reported:
+//
+//   - //lmovet:allow with no analyzer names, or naming an analyzer
+//     that does not exist in the suite;
+//   - //lmovet:allow <a> where analyzer a reported nothing on the
+//     governed lines — the suppression is dead and should be deleted
+//     before it silently swallows a future real finding;
+//   - //lmovet:commutative not attached to any map range the maporder
+//     analyzer examined;
+//   - //lmovet:hotpath not attached to any function declaration;
+//   - an unknown directive kind (typo: //lmovet:alow).
+var Directiveaudit = &Analyzer{
+	Name: "directiveaudit",
+	Doc:  "report stale or malformed //lmovet: directives",
+}
+
+// Run is wired in init: runDirectiveaudit reads Suite (to validate
+// analyzer names in allow directives), and Suite contains
+// Directiveaudit, so a literal Run field would be an initialization
+// cycle.
+func init() { Directiveaudit.Run = runDirectiveaudit }
+
+// knownAnalyzers is the vocabulary //lmovet:allow may name. Kept as a
+// function over Suite so a new analyzer is known the moment it is
+// registered in policy.go.
+func knownAnalyzers() map[string]bool {
+	out := map[string]bool{}
+	for _, a := range Suite {
+		out[a.Name] = true
+	}
+	return out
+}
+
+func runDirectiveaudit(pass *Pass) error {
+	known := knownAnalyzers()
+	for _, rec := range pass.directives.records {
+		switch rec.kind {
+		case "allow":
+			if len(rec.args) == 0 {
+				pass.Reportf(rec.pos, "lmovet:allow names no analyzer; write //lmovet:allow <analyzer>")
+				continue
+			}
+			for _, a := range rec.args {
+				if !known[a] {
+					pass.Reportf(rec.pos, "lmovet:allow names unknown analyzer %q", a)
+					continue
+				}
+				if !rec.used[a] {
+					pass.Reportf(rec.pos, "stale lmovet:allow %s: the analyzer reports nothing here; delete the directive", a)
+				}
+			}
+		case "commutative":
+			if !rec.usedAny {
+				pass.Reportf(rec.pos, "stale lmovet:commutative: no map iteration on the governed line; delete the directive")
+			}
+		case "hotpath":
+			if !rec.usedAny {
+				pass.Reportf(rec.pos, "stale lmovet:hotpath: no function declaration on the governed line; delete the directive")
+			}
+		default:
+			pass.Reportf(rec.pos, "unknown lmovet directive %q", rec.kind)
+		}
+	}
+	return nil
+}

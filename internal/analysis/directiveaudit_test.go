@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestDirectiveaudit runs the audit the way production does: after
+// analyzers that consume directives, sharing one directive index, with
+// directiveaudit last.
+func TestDirectiveaudit(t *testing.T) {
+	analysistest.RunSuite(t,
+		[]*analysis.Analyzer{analysis.Maporder, analysis.Hotalloc, analysis.Directiveaudit},
+		"directiveaudit_bad", "directiveaudit_ok")
+}

@@ -2,13 +2,16 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Hotalloc flags allocation-introducing constructs inside functions
 // annotated //lmovet:hotpath — the discrete-event fast path that the
 // PR-3 optimization made allocation-free and that the simbench
-// regression benchmarks guard. It reports:
+// regression benchmarks guard. Directly inside a hot function it
+// reports:
 //
 //   - calls into package fmt (formatting always allocates);
 //   - function literals that capture enclosing variables (the capture
@@ -18,28 +21,103 @@ import (
 //   - append to a slice declared locally without preallocated
 //     capacity (growth reallocates on the hot path).
 //
+// Interprocedurally, it computes a per-function "allocates" summary
+// over the package call graph — a function allocates when its body
+// contains one of the constructs above or it calls (transitively,
+// within the package) a function that does — and flags any call from
+// a hot function to an allocating callee, naming the witness path and
+// the root construct. Callees that are themselves //lmovet:hotpath
+// are not re-flagged at the call site: their own check covers them.
+//
 // Allocations that are deliberate (error paths that fire once, cold
-// branches) are waved through with //lmovet:allow hotalloc.
+// branches) are waved through with //lmovet:allow hotalloc; a
+// suppressed construct is excluded from its function's summary too.
 var Hotalloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "flag allocation-introducing constructs in //lmovet:hotpath functions",
+	Doc:  "flag allocation-introducing constructs in (or reachable from) //lmovet:hotpath functions",
 	Run:  runHotalloc,
 }
 
+// allocSite is one allocation-introducing construct, with a short
+// description used when it is reported through a call chain.
+type allocSite struct {
+	pos  token.Pos
+	desc string
+}
+
 func runHotalloc(pass *Pass) error {
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !pass.Hotpath(fd) {
+	cg := pass.CallGraph()
+
+	// Per-function direct summaries, //lmovet:allow hotalloc already
+	// applied so a waved-through construct does not poison callers.
+	direct := map[*types.Func][]allocSite{}
+	hot := map[*types.Func]bool{}
+	targets := map[*types.Func]bool{}
+	for _, fn := range cg.Functions() {
+		fd := cg.Decl(fn)
+		sites := directAllocSites(pass, fd)
+		kept := sites[:0]
+		for _, s := range sites {
+			if !pass.allowedAt("hotalloc", s.pos) {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) > 0 {
+			direct[fn] = kept
+			targets[fn] = true
+		}
+		if pass.Hotpath(fd) {
+			hot[fn] = true
+		}
+	}
+	paths := cg.PathsTo(targets)
+
+	for _, fn := range cg.Functions() {
+		if !hot[fn] {
+			continue
+		}
+		fd := cg.Decl(fn)
+		// Direct constructs, reported with the original messages.
+		reportDirectAllocs(pass, fd)
+		// Calls into allocating same-package callees. A callee that is
+		// itself hotpath-annotated gets its own direct report instead.
+		for _, e := range cg.Callees(fn) {
+			if hot[e.Callee] {
 				continue
 			}
-			checkHotFunc(pass, fd)
+			if _, reaches := paths[e.Callee]; !reaches {
+				continue
+			}
+			root := e.Callee
+			for paths[root] != nil {
+				root = paths[root].Callee
+			}
+			site := direct[root][0]
+			chain := append([]string{e.Callee.Name()}, cg.Chain(paths, e.Callee)...)
+			where := pass.Fset.Position(site.pos)
+			pass.Reportf(e.Pos,
+				"call to %s allocates (%s at %s:%d); hot path %s must stay allocation-free",
+				strings.Join(chain, " → "), site.desc, shortFile(where.Filename), where.Line, fd.Name.Name)
 		}
 	}
 	return nil
 }
 
-func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+// shortFile trims a file path to its last two segments, enough to
+// identify the site in a diagnostic without dragging the module root
+// through every message.
+func shortFile(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}
+
+// reportDirectAllocs reports the allocation constructs written
+// directly in a hot function's body, with messages naming the hot
+// function (the pre-call-graph behavior, kept stable).
+func reportDirectAllocs(pass *Pass, fd *ast.FuncDecl) {
 	unprealloc := collectBareSlices(pass, fd)
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
@@ -52,6 +130,53 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// directAllocSites collects the allocation constructs written directly
+// in fd's body as summary entries, without reporting them.
+func directAllocSites(pass *Pass, fd *ast.FuncDecl) []allocSite {
+	var sites []allocSite
+	unprealloc := collectBareSlices(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if capturesVars(pass, fd, v) {
+				sites = append(sites, allocSite{v.Pos(), "variable-capturing closure"})
+			}
+		case *ast.CallExpr:
+			sites = appendCallAllocSites(pass, sites, v, unprealloc)
+		}
+		return true
+	})
+	return sites
+}
+
+// appendCallAllocSites classifies one call expression for the summary:
+// fmt calls, growing appends and interface boxing, mirroring
+// checkHotCall without reporting.
+func appendCallAllocSites(pass *Pass, sites []allocSite, call *ast.CallExpr, unprealloc map[types.Object]bool) []allocSite {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			return append(sites, allocSite{call.Pos(), "fmt." + fn.Name() + " call"})
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				if dst, ok := call.Args[0].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[dst]; obj != nil && unprealloc[obj] {
+						sites = append(sites, allocSite{call.Pos(), "append to un-preallocated slice " + dst.Name})
+					}
+				}
+			}
+			return sites
+		}
+	}
+	forEachBoxedArg(pass, call, func(arg ast.Expr, at types.Type) {
+		sites = append(sites, allocSite{arg.Pos(), "interface boxing of " + at.String()})
+	})
+	return sites
 }
 
 // collectBareSlices finds local slice variables declared with no
@@ -156,6 +281,14 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, unprealloc m
 	}
 
 	// Interface boxing at call boundaries.
+	forEachBoxedArg(pass, call, func(arg ast.Expr, at types.Type) {
+		pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes it onto the heap; hot path %s must stay allocation-free", at, fd.Name.Name)
+	})
+}
+
+// forEachBoxedArg invokes f for every argument of call whose
+// conversion to an interface parameter heap-allocates.
+func forEachBoxedArg(pass *Pass, call *ast.CallExpr, f func(arg ast.Expr, at types.Type)) {
 	tv, ok := pass.TypesInfo.Types[call.Fun]
 	if !ok {
 		return
@@ -186,7 +319,7 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, unprealloc m
 			continue
 		}
 		if boxesOnHeap(at.Type) {
-			pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes it onto the heap; hot path %s must stay allocation-free", at.Type, fd.Name.Name)
+			f(arg, at.Type)
 		}
 	}
 }

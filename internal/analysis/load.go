@@ -21,6 +21,8 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	cg *CallGraph // lazily built by Pass.CallGraph, shared by analyzers
 }
 
 // Module is the loaded module: every buildable package, type-checked

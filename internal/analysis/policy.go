@@ -2,8 +2,10 @@ package analysis
 
 import "strings"
 
-// Suite is every lmovet analyzer, in report order.
-var Suite = []*Analyzer{Walltime, Globalrand, Maporder, Vtimeblock, Hotalloc}
+// Suite is every lmovet analyzer, in report order. Directiveaudit is
+// last by contract: it reads the usage marks the others leave on the
+// shared directive index.
+var Suite = []*Analyzer{Walltime, Globalrand, Maporder, Vtimeblock, Hotalloc, Snapshotmut, Atomicmix, Poolreuse, Directiveaudit}
 
 // deterministicPkgs are the packages that make up the virtual-time
 // universe: everything whose behavior must be a pure function of
@@ -83,7 +85,12 @@ func IsDeterministic(path string) bool { return deterministicPkgs[path] }
 //   - vtimeblock: everywhere except the vtime kernel itself, whose
 //     channel handoff implements the primitive the check protects;
 //   - hotalloc: everywhere (it only fires inside //lmovet:hotpath
-//     functions).
+//     functions);
+//   - snapshotmut, atomicmix, poolreuse: everywhere — the concurrency
+//     invariants they enforce (copy-on-write publication, unmixed
+//     atomics, pooled-object lifecycle) are not package-specific;
+//   - directiveaudit: everywhere, and always LAST, so the usage marks
+//     left by the analyzers above are complete when it reads them.
 func Scope(path string) []*Analyzer {
 	var out []*Analyzer
 	if IsDeterministic(path) || WallClockFileScoped(path) {
@@ -95,6 +102,6 @@ func Scope(path string) []*Analyzer {
 	if path != "repro/internal/vtime" {
 		out = append(out, Vtimeblock)
 	}
-	out = append(out, Hotalloc)
+	out = append(out, Hotalloc, Snapshotmut, Atomicmix, Poolreuse, Directiveaudit)
 	return out
 }

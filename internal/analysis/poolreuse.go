@@ -1,0 +1,494 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Poolreuse checks the lifecycle of pooled objects: values obtained
+// from a sync.Pool, or from one of the package's hand-rolled freelist
+// getters (recognized structurally: a same-package function whose
+// paired releaser appends its pointer argument back onto a freelist
+// slice — the get/put helpers in simnet). Three bugs are flagged, all
+// of which corrupt unrelated traffic when the recycled object is
+// handed to the next caller:
+//
+//   - use after Put: reading or writing the object after it was
+//     returned to the pool on the same path — by then another
+//     goroutine may own it;
+//   - double Put: returning the same object twice, which hands two
+//     callers the same backing memory;
+//   - missing Put on early return: a return statement while a pooled
+//     object is still owned and unreleased leaks it.
+//
+// Put-position reasoning is block-structured: a Put that is a direct
+// statement of a block only condemns later statements of that same
+// block, and each branch of an if/switch is analyzed with the state
+// from before the branch, so `if fast { put(x); return }; use(x)`
+// stays clean. A deferred Put covers the whole function including
+// every early return. Ownership transfers end tracking: returning the
+// object, storing the pointer into a longer-lived structure, or
+// passing it to a function other than the releaser all count as
+// handing ownership onward. Transfers the analyzer cannot see —
+// abandoning an object for another goroutine to release — are
+// annotated //lmovet:allow poolreuse at the return site.
+var Poolreuse = &Analyzer{
+	Name: "poolreuse",
+	Doc:  "flag use-after-Put, double-Put and missing-Put-on-early-return for pooled objects",
+	Run:  runPoolreuse,
+}
+
+// poolFns classifies the package's pooling vocabulary: sync.Pool
+// Get/Put, plus same-package getter/releaser pairs recognized from the
+// releaser's shape.
+type poolFns struct {
+	getters   map[*types.Func]bool // return a pooled object
+	releasers map[*types.Func]bool // first arg goes back to the pool
+}
+
+// findPoolFns discovers hand-rolled freelist functions: a releaser is
+// a function whose body appends its pointer-typed parameter back onto
+// a slice (the freelist) assigned in place; a getter is then any
+// same-package function returning the releaser's parameter type whose
+// body reads the same freelist name.
+func findPoolFns(pass *Pass, cg *CallGraph) poolFns {
+	pf := poolFns{getters: map[*types.Func]bool{}, releasers: map[*types.Func]bool{}}
+	info := pass.TypesInfo
+
+	sliceName := func(e ast.Expr) string {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v.Name
+		case *ast.SelectorExpr:
+			return v.Sel.Name
+		}
+		return ""
+	}
+
+	// Pass 1: releasers, collecting freelist slice names and element
+	// types.
+	freelists := map[string]types.Type{} // slice name -> element type
+	for _, fn := range cg.Functions() {
+		fd := cg.Decl(fn)
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() != 1 {
+			continue
+		}
+		param := sig.Params().At(0)
+		if _, isPtr := param.Type().Underlying().(*types.Pointer); !isPtr {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 || i >= len(as.Lhs) {
+					continue
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+					continue
+				}
+				pushesParam := false
+				for _, a := range call.Args[1:] {
+					if aid, ok := a.(*ast.Ident); ok && info.Uses[aid] == param {
+						pushesParam = true
+					}
+				}
+				name := sliceName(as.Lhs[i])
+				if !pushesParam || name == "" || name != sliceName(call.Args[0]) {
+					continue
+				}
+				freelists[name] = param.Type()
+				pf.releasers[fn] = true
+			}
+			return true
+		})
+	}
+
+	// Pass 2: getters.
+	for _, fn := range cg.Functions() {
+		if pf.releasers[fn] {
+			continue
+		}
+		fd := cg.Decl(fn)
+		sig := fn.Type().(*types.Signature)
+		if sig.Results().Len() != 1 {
+			continue
+		}
+		ret := sig.Results().At(0).Type()
+		// Order-insensitive: matching any one freelist classifies fn.
+		//lmovet:commutative
+		for name, elem := range freelists {
+			if !types.Identical(ret, elem) {
+				continue
+			}
+			touches := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if touches {
+					return false
+				}
+				switch v := n.(type) {
+				case *ast.Ident:
+					if v.Name == name {
+						touches = true
+					}
+				case *ast.SelectorExpr:
+					if v.Sel.Name == name {
+						touches = true
+					}
+				}
+				return true
+			})
+			if touches {
+				pf.getters[fn] = true
+				break
+			}
+		}
+	}
+	return pf
+}
+
+func runPoolreuse(pass *Pass) error {
+	cg := pass.CallGraph()
+	pf := findPoolFns(pass, cg)
+	for _, fn := range cg.Functions() {
+		checkPoolFunc(pass, cg.Decl(fn), pf)
+	}
+	return nil
+}
+
+// calleeOf resolves the called function of a call expression.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPoolMethod reports whether fn is sync.Pool's named method.
+func isPoolMethod(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+// poolState is the lifecycle of one tracked pooled local during the
+// block-structured walk.
+type poolState struct {
+	name   string
+	putPos token.Pos // NoPos while owned; set by Put in the current region
+	gone   bool      // ownership transferred; stop tracking
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl, pf poolFns) {
+	info := pass.TypesInfo
+
+	isGet := func(e ast.Expr) bool {
+		if ta, ok := e.(*ast.TypeAssertExpr); ok {
+			e = ta.X // pool.Get().(*T)
+		}
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return false
+		}
+		return isPoolMethod(fn, "Get") || pf.getters[fn]
+	}
+	putArg := func(call *ast.CallExpr) types.Object {
+		fn := calleeOf(info, call)
+		if fn == nil || len(call.Args) == 0 {
+			return nil
+		}
+		if !isPoolMethod(fn, "Put") && !pf.releasers[fn] {
+			return nil
+		}
+		arg := call.Args[0]
+		for {
+			p, ok := arg.(*ast.ParenExpr)
+			if !ok {
+				break
+			}
+			arg = p.X
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+		return nil
+	}
+
+	// Deferred puts cover the whole function body.
+	deferredPut := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if obj := putArg(d.Call); obj != nil {
+				deferredPut[obj] = true
+			}
+		}
+		return true
+	})
+
+	live := map[types.Object]*poolState{}
+
+	// bareUses finds occurrences of obj inside n, split into
+	// dereferencing uses (x.f, *x, x[i] — reads through the object) and
+	// bare pointer uses (the ident itself flowing somewhere). Put-call
+	// arguments are excluded by callers before this runs.
+	scanUses := func(n ast.Node, obj types.Object, skip map[ast.Node]bool) (derefAt, bareAt token.Pos) {
+		protected := map[*ast.Ident]bool{}
+		ast.Inspect(n, func(m ast.Node) bool {
+			var base ast.Expr
+			switch v := m.(type) {
+			case *ast.SelectorExpr:
+				base = v.X
+			case *ast.StarExpr:
+				base = v.X
+			case *ast.IndexExpr:
+				base = v.X
+			default:
+				return true
+			}
+			for {
+				if p, ok := base.(*ast.ParenExpr); ok {
+					base = p.X
+					continue
+				}
+				break
+			}
+			if id, ok := base.(*ast.Ident); ok && info.Uses[id] == obj {
+				protected[id] = true
+			}
+			return true
+		})
+		ast.Inspect(n, func(m ast.Node) bool {
+			if skip[m] {
+				return false
+			}
+			id, ok := m.(*ast.Ident)
+			if !ok || info.Uses[id] != obj {
+				return true
+			}
+			if protected[id] {
+				if derefAt == token.NoPos || id.Pos() < derefAt {
+					derefAt = id.Pos()
+				}
+			} else {
+				if bareAt == token.NoPos || id.Pos() < bareAt {
+					bareAt = id.Pos()
+				}
+			}
+			return true
+		})
+		return derefAt, bareAt
+	}
+
+	// checkStmt applies use-after-put and ownership-transfer rules for
+	// one non-control statement. skip holds call nodes already consumed
+	// as puts.
+	checkStmt := func(s ast.Stmt, skip map[ast.Node]bool) {
+		// Per-object state updates are independent and RunAnalyzers
+		// sorts all reports by position.
+		//lmovet:commutative
+		for obj, st := range live {
+			if st.gone {
+				continue
+			}
+			derefAt, bareAt := scanUses(s, obj, skip)
+			if st.putPos != token.NoPos {
+				at := derefAt
+				if at == token.NoPos || (bareAt != token.NoPos && bareAt < at) {
+					at = bareAt
+				}
+				if at != token.NoPos && at > st.putPos {
+					pass.Reportf(at, "use of %s after it was returned to the pool; another goroutine may already own it", st.name)
+				}
+				continue
+			}
+			// Still owned: a bare pointer use outside a put transfers
+			// ownership (stored, passed on) — stop tracking.
+			if bareAt != token.NoPos {
+				st.gone = true
+			}
+		}
+	}
+
+	var walkBlock func(stmts []ast.Stmt)
+	var walkStmt func(s ast.Stmt, inBlock bool)
+
+	snapshot := func() map[types.Object]poolState {
+		snap := map[types.Object]poolState{}
+		//lmovet:commutative
+		for obj, st := range live {
+			snap[obj] = *st
+		}
+		return snap
+	}
+	restore := func(snap map[types.Object]poolState) {
+		//lmovet:commutative
+		for obj, st := range live {
+			if old, ok := snap[obj]; ok {
+				*st = old
+			}
+			// Objects first seen inside the branch keep their state:
+			// their scope ended with the branch, and a branch-local
+			// get/put pair is complete.
+		}
+	}
+
+	walkStmt = func(s ast.Stmt, inBlock bool) {
+		switch v := s.(type) {
+		case *ast.AssignStmt:
+			skip := map[ast.Node]bool{}
+			for i, rhs := range v.Rhs {
+				if i < len(v.Lhs) && isGet(rhs) {
+					skip[rhs] = true
+					if id, ok := v.Lhs[i].(*ast.Ident); ok {
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if obj != nil {
+							live[obj] = &poolState{name: id.Name}
+							skip[id] = true
+						}
+					}
+				}
+			}
+			checkStmt(v, skip)
+		case *ast.ExprStmt:
+			skip := map[ast.Node]bool{}
+			if call, ok := v.X.(*ast.CallExpr); ok {
+				if obj := putArg(call); obj != nil {
+					if st := live[obj]; st != nil && !st.gone {
+						if st.putPos != token.NoPos {
+							pass.Reportf(call.Pos(), "%s returned to the pool twice; double Put hands two callers the same memory", st.name)
+						} else if inBlock {
+							st.putPos = call.Pos()
+						} else {
+							st.gone = true // put in a non-region position: released, unknowable later
+						}
+						skip[call] = true
+					}
+				}
+			}
+			checkStmt(v, skip)
+		case *ast.ReturnStmt:
+			// Reports are position-sorted by RunAnalyzers.
+			//lmovet:commutative
+			for obj, st := range live {
+				if st.gone {
+					continue
+				}
+				derefAt, bareAt := scanUses(v, obj, nil)
+				if st.putPos != token.NoPos {
+					at := derefAt
+					if at == token.NoPos || (bareAt != token.NoPos && bareAt < at) {
+						at = bareAt
+					}
+					if at != token.NoPos && at > st.putPos {
+						pass.Reportf(at, "use of %s after it was returned to the pool; another goroutine may already own it", st.name)
+					}
+					continue
+				}
+				if deferredPut[obj] {
+					continue
+				}
+				if bareAt != token.NoPos {
+					continue // returned to the caller: ownership handoff
+				}
+				pass.Reportf(v.Pos(), "return leaks pooled object %s (no Put on this path); release it or defer the Put", st.name)
+			}
+		case *ast.BlockStmt:
+			snap := snapshot()
+			walkBlock(v.List)
+			restore(snap)
+		case *ast.IfStmt:
+			snap := snapshot()
+			walkBlock(v.Body.List)
+			restore(snap)
+			if v.Else != nil {
+				walkStmt(v.Else, false)
+				restore(snap)
+			}
+		case *ast.ForStmt:
+			snap := snapshot()
+			walkBlock(v.Body.List)
+			restore(snap)
+		case *ast.RangeStmt:
+			snap := snapshot()
+			walkBlock(v.Body.List)
+			restore(snap)
+		case *ast.SwitchStmt:
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					snap := snapshot()
+					walkBlock(cc.Body)
+					restore(snap)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					snap := snapshot()
+					walkBlock(cc.Body)
+					restore(snap)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					snap := snapshot()
+					walkBlock(cc.Body)
+					restore(snap)
+				}
+			}
+		case *ast.LabeledStmt:
+			walkStmt(v.Stmt, inBlock)
+		case *ast.DeferStmt:
+			// already collected; a deferred put is not a region put
+		default:
+			checkStmt(s, nil)
+		}
+	}
+
+	walkBlock = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			switch s.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.LabeledStmt, *ast.DeferStmt:
+				walkStmt(s, true)
+			default:
+				walkStmt(s, false)
+			}
+		}
+	}
+
+	walkBlock(fd.Body.List)
+}

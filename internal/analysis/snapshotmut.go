@@ -1,0 +1,385 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Snapshotmut enforces the copy-on-write snapshot invariant behind the
+// registry's lock-free read path: a value published through
+// atomic.Pointer.Store is immutable from the instant it is published.
+// Readers load the snapshot with one atomic pointer read and walk it
+// without synchronization, so any in-place write — to a map, slice or
+// struct field reachable from the published value — is a data race
+// that no mutex on the writer's side can fix. Writers must build a
+// fresh value and publish it; they may never mutate one a reader
+// might already hold.
+//
+// The analyzer flags, within each function:
+//
+//   - writes through a value obtained from atomic.Pointer.Load
+//     (directly, e.g. p.Load().f = v, or through locals derived from
+//     the loaded value — selector, index, and range derivations are
+//     tracked);
+//   - writes through a value after it was passed to
+//     atomic.Pointer.Store (or referenced by the composite literal
+//     that was stored), later in the same block — the
+//     publish-then-keep-writing bug;
+//   - passing a value to a same-package function that publishes its
+//     parameter (summary-propagated over the call graph), followed by
+//     a write, which is the same bug hidden behind a helper.
+//
+// A site the analyzer cannot see is proven safe the usual way:
+// //lmovet:allow snapshotmut with a one-line justification.
+var Snapshotmut = &Analyzer{
+	Name: "snapshotmut",
+	Doc:  "flag mutation of values published via atomic.Pointer (copy-on-write snapshots)",
+	Run:  runSnapshotmut,
+}
+
+// isAtomicPointerMethod reports whether fn is the named method of
+// sync/atomic's Pointer[T] (or Value, which has the same publication
+// semantics).
+func isAtomicPointerMethod(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	n := named.Obj().Name()
+	return n == "Pointer" || n == "Value"
+}
+
+// publishParams computes, over the call graph, which parameters of
+// same-package functions flow into an atomic publication: directly as
+// a Store argument, as an ident referenced by a stored composite
+// literal, or onward into a publishing parameter of a callee.
+func publishParams(pass *Pass, cg *CallGraph) map[*types.Func]map[int]bool {
+	pub := map[*types.Func]map[int]bool{}
+	paramIndex := func(fn *types.Func, obj types.Object) int {
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == obj {
+				return i
+			}
+		}
+		return -1
+	}
+	mark := func(fn *types.Func, i int) bool {
+		if pub[fn] == nil {
+			pub[fn] = map[int]bool{}
+		}
+		if pub[fn][i] {
+			return false
+		}
+		pub[fn][i] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range cg.Functions() {
+			fd := cg.Decl(fn)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, arg := range publishedArgs(pass, call, pub) {
+					for _, id := range rootIdents(arg) {
+						obj, ok := pass.TypesInfo.Uses[id]
+						if !ok {
+							continue
+						}
+						if i := paramIndex(fn, obj); i >= 0 && mark(fn, i) {
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return pub
+}
+
+// publishedArgs returns the arguments of call that are published by
+// it: the Store argument of an atomic Pointer/Value, or any argument
+// passed at a parameter position a same-package callee publishes.
+func publishedArgs(pass *Pass, call *ast.CallExpr, pub map[*types.Func]map[int]bool) []ast.Expr {
+	var out []ast.Expr
+	var callee *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	if callee == nil {
+		return nil
+	}
+	if isAtomicPointerMethod(callee, "Store") && len(call.Args) == 1 {
+		return call.Args[:1]
+	}
+	var idxs []int
+	for i := range pub[callee] {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		if i < len(call.Args) {
+			out = append(out, call.Args[i])
+		}
+	}
+	return out
+}
+
+// rootIdents collects the identifiers referenced by an expression that
+// could alias the published value: the base of selector/index/star
+// chains, the operand of &, and every ident inside a composite
+// literal (storing &snapshot{entries: m} publishes m).
+func rootIdents(e ast.Expr) []*ast.Ident {
+	var out []*ast.Ident
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch v := e.(type) {
+		case *ast.Ident:
+			out = append(out, v)
+		case *ast.ParenExpr:
+			walk(v.X)
+		case *ast.UnaryExpr:
+			walk(v.X)
+		case *ast.StarExpr:
+			walk(v.X)
+		case *ast.SelectorExpr:
+			walk(v.X)
+		case *ast.IndexExpr:
+			walk(v.X)
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					walk(kv.Value)
+				} else {
+					walk(el)
+				}
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+func runSnapshotmut(pass *Pass) error {
+	cg := pass.CallGraph()
+	pub := publishParams(pass, cg)
+	for _, fn := range cg.Functions() {
+		checkSnapshotFunc(pass, cg.Decl(fn), pub)
+	}
+	// Function literals outside declared functions (package-level vars)
+	// still deserve the check; literals inside decls are covered above.
+	return nil
+}
+
+// checkSnapshotFunc applies both directions of the invariant to one
+// function body: taint from Load (mutation forbidden anywhere), and
+// publication positions from Store (mutation forbidden afterwards).
+func checkSnapshotFunc(pass *Pass, fd *ast.FuncDecl, pub map[*types.Func]map[int]bool) {
+	info := pass.TypesInfo
+
+	// Pass A: collect tainted objects (derived from .Load()) and
+	// publication positions per object (from .Store(x) / publishing
+	// callees).
+	loaded := map[types.Object]token.Pos{}    // object -> taint origin
+	published := map[types.Object]token.Pos{} // object -> earliest publication
+
+	isLoadCall := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		fn, _ := info.Uses[sel.Sel].(*types.Func)
+		return isAtomicPointerMethod(fn, "Load")
+	}
+	// rootsFromLoad reports whether the expression derives from a Load
+	// call or from an already-tainted ident.
+	var derivesFromLoad func(e ast.Expr) bool
+	derivesFromLoad = func(e ast.Expr) bool {
+		switch v := e.(type) {
+		case *ast.Ident:
+			obj, ok := info.Uses[v]
+			_, tainted := loaded[obj]
+			return ok && tainted
+		case *ast.CallExpr:
+			return isLoadCall(v)
+		case *ast.ParenExpr:
+			return derivesFromLoad(v.X)
+		case *ast.SelectorExpr:
+			return derivesFromLoad(v.X)
+		case *ast.IndexExpr:
+			return derivesFromLoad(v.X)
+		case *ast.StarExpr:
+			return derivesFromLoad(v.X)
+		case *ast.TypeAssertExpr:
+			return derivesFromLoad(v.X)
+		case *ast.UnaryExpr:
+			return derivesFromLoad(v.X)
+		}
+		return false
+	}
+
+	// Taint propagation is a forward fixpoint over the body: an
+	// assignment from a tainted expression taints its targets, and a
+	// range over a tainted collection taints the iteration variables.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range v.Rhs {
+					if i >= len(v.Lhs) || !derivesFromLoad(rhs) {
+						continue
+					}
+					if id, ok := v.Lhs[i].(*ast.Ident); ok {
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if obj != nil {
+							if _, seen := loaded[obj]; !seen {
+								loaded[obj] = rhs.Pos()
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if !derivesFromLoad(v.X) {
+					return true
+				}
+				for _, e := range []ast.Expr{v.Key, v.Value} {
+					id, ok := e.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil {
+						if _, seen := loaded[obj]; !seen {
+							loaded[obj] = v.Pos()
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Publication positions.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range publishedArgs(pass, call, pub) {
+			for _, id := range rootIdents(arg) {
+				if obj, ok := info.Uses[id]; ok {
+					if cur, seen := published[obj]; !seen || call.Pos() < cur {
+						published[obj] = call.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if len(loaded) == 0 && len(published) == 0 {
+		return
+	}
+
+	// Pass B: flag writes. A write is an assignment (or ++/--, or
+	// delete) whose target chains down to a tainted or published base
+	// ident; a bare `x = ...` rebind of the local itself is fine — the
+	// invariant protects the pointed-to value, not the variable.
+	flagWrite := func(target ast.Expr, pos token.Pos, forceDeref bool) {
+		base, deref := writeBase(target)
+		if base == nil {
+			return
+		}
+		obj, ok := info.Uses[base]
+		if !ok {
+			return
+		}
+		if !deref && !forceDeref {
+			return // rebinding the variable, not mutating the snapshot
+		}
+		if _, tainted := loaded[obj]; tainted {
+			pass.Reportf(pos,
+				"write through %s mutates a snapshot obtained from atomic.Pointer.Load; copy-on-write snapshots are immutable after publication — build a fresh value and Store it",
+				base.Name)
+			return
+		}
+		if pubPos, isPub := published[obj]; isPub && pos > pubPos {
+			pass.Reportf(pos,
+				"write through %s after it was published via atomic.Pointer.Store; a published snapshot may already be held by lock-free readers — mutate before publishing, or publish a fresh copy",
+				base.Name)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				flagWrite(lhs, v.Pos(), false)
+			}
+		case *ast.IncDecStmt:
+			flagWrite(v.X, v.Pos(), false)
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(v.Args) == 2 {
+					// delete mutates the map the bare ident names.
+					flagWrite(v.Args[0], v.Pos(), true)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// writeBase resolves a write target to its base identifier, reporting
+// whether the write dereferences through the base (x.f = v, x[i] = v,
+// *x = v) rather than rebinding the variable itself (x = v).
+func writeBase(e ast.Expr) (base *ast.Ident, deref bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v, deref
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e, deref = v.X, true
+		case *ast.IndexExpr:
+			e, deref = v.X, true
+		case *ast.StarExpr:
+			e, deref = v.X, true
+		default:
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestSnapshotmut(t *testing.T) {
+	analysistest.Run(t, analysis.Snapshotmut, "snapshotmut_bad", "snapshotmut_ok")
+}

@@ -32,14 +32,15 @@ func TestSuiteCleanOnModule(t *testing.T) {
 		if analysis.IsDeterministic(pkg.Path) {
 			sawDeterministic = true
 		}
-		for _, a := range analysis.Scope(pkg.Path) {
-			diags, err := analysis.RunAnalyzer(a, mod.Fset, pkg)
-			if err != nil {
-				t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
-			}
-			for _, d := range diags {
-				t.Errorf("%s: %s: %s", mod.Fset.Position(d.Pos), a.Name, d.Message)
-			}
+		// One RunAnalyzers call per package, exactly like cmd/lmovet:
+		// the analyzers share a directive index, so directiveaudit (last
+		// in Scope's list) sees which directives the others consulted.
+		findings, err := analysis.RunAnalyzers(analysis.Scope(pkg.Path), mod.Fset, pkg)
+		if err != nil {
+			t.Fatalf("suite on %s: %v", pkg.Path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: %s: %s", mod.Fset.Position(f.Pos), f.Analyzer, f.Message)
 		}
 	}
 	if !sawDeterministic {

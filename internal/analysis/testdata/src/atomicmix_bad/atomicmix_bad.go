@@ -1,0 +1,32 @@
+// Package atomicmix_bad mixes atomic and plain access to the same
+// fields without a guarding mutex — the races the atomicmix analyzer
+// must catch.
+package atomicmix_bad
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	val  atomic.Int64
+}
+
+func (c *counter) incAtomic() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) report() int64 {
+	return c.hits // want `plain read of field hits, which is also accessed via sync/atomic`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `plain write of field hits, which is also accessed via sync/atomic`
+}
+
+func (c *counter) bump() {
+	c.val.Add(1)
+}
+
+func (c *counter) leak() int64 {
+	v := c.val // want `plain read of field val, which is also accessed via sync/atomic`
+	return v.Load()
+}

@@ -1,0 +1,50 @@
+// Package atomicmix_ok shows the two consistent disciplines the
+// atomicmix analyzer accepts — all-atomic, and plain-under-lock — plus
+// fields that are plain-only.
+package atomicmix_ok
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	hits int64        // atomic fast path + locked slow path
+	cold int64        // plain-only, never atomic
+	live atomic.Int64 // atomic-only
+}
+
+func (c *counter) incAtomic() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// drain accesses hits plainly, but under the struct's mutex: the
+// locked-writer discipline.
+func (c *counter) drain() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.hits
+	c.hits = 0
+	return v
+}
+
+func (c *counter) bumpCold() {
+	c.cold++
+}
+
+func (c *counter) bumpLive() {
+	c.live.Add(1)
+}
+
+func (c *counter) readLive() int64 {
+	return c.live.Load()
+}
+
+// newCounter initializes before the value escapes: reviewed and waved
+// through.
+func newCounter() *counter {
+	c := &counter{}
+	c.hits = 1 //lmovet:allow atomicmix
+	return c
+}

@@ -1,0 +1,44 @@
+// Package directiveaudit_bad accumulates stale and malformed
+// //lmovet: directives next to genuine ones, so the audit must
+// separate the two.
+package directiveaudit_bad
+
+import "fmt"
+
+// genuine: the directive governs a real map range that maporder
+// consults.
+func sum(m map[string]int) int {
+	t := 0
+	//lmovet:commutative
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// genuine: hotpath governs the declaration, allow suppresses a real
+// hotalloc finding.
+//
+//lmovet:hotpath
+func hot(n int) string {
+	//lmovet:allow hotalloc
+	return fmt.Sprintf("x-%d", n)
+}
+
+func staleCommutative() int {
+	x := 1
+	x++ //lmovet:commutative // want `stale lmovet:commutative`
+	return x
+}
+
+var answer = 42 //lmovet:hotpath // want `stale lmovet:hotpath`
+
+func staleAllow() int {
+	return answer //lmovet:allow hotalloc // want `stale lmovet:allow hotalloc`
+}
+
+func typoKind() {} //lmovet:alow hotalloc // want `unknown lmovet directive "alow"`
+
+func emptyAllow() {} //lmovet:allow // want `lmovet:allow names no analyzer`
+
+func ghostAnalyzer() {} //lmovet:allow nosuchanalyzer // want `lmovet:allow names unknown analyzer "nosuchanalyzer"`

@@ -1,0 +1,20 @@
+// Package directiveaudit_ok holds only live directives: every
+// //lmovet: comment governs something an analyzer actually consulted.
+package directiveaudit_ok
+
+import "fmt"
+
+func sum(m map[string]int) int {
+	t := 0
+	//lmovet:commutative
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+//lmovet:hotpath
+func hot(n int) string {
+	//lmovet:allow hotalloc
+	return fmt.Sprintf("x-%d", n)
+}

@@ -1,0 +1,24 @@
+// Transitive findings: a hot function calling an allocating callee is
+// flagged at the call site, with the witness chain and root construct
+// named.
+package hotalloc_bad
+
+import "fmt"
+
+func buildLabel(n int) string {
+	return fmt.Sprintf("lbl-%d", n)
+}
+
+func mid(n int) string {
+	return buildLabel(n)
+}
+
+//lmovet:hotpath
+func hotCaller(n int) string {
+	return buildLabel(n) // want `call to buildLabel allocates .fmt.Sprintf call at .*; hot path hotCaller must stay allocation-free`
+}
+
+//lmovet:hotpath
+func hotDeep(n int) string {
+	return mid(n) // want `call to mid → buildLabel allocates .fmt.Sprintf call at .*; hot path hotDeep must stay allocation-free`
+}

@@ -1,0 +1,35 @@
+// Negative transitive cases: hot functions may call allocation-free
+// helpers, other hot functions (covered by their own check), and
+// helpers whose only allocation is individually waved through.
+package hotalloc_ok
+
+import "fmt"
+
+func cleanHelper(n int) int {
+	return n * 2
+}
+
+//lmovet:hotpath
+func hotLeafCallee(n int) int {
+	return n + 1
+}
+
+//lmovet:hotpath
+func hotCallsClean(n int) int {
+	return cleanHelper(n) + hotLeafCallee(n)
+}
+
+// coldPath's allocation is reviewed: the allow removes it from the
+// function's summary, so hot callers stay clean.
+func coldPath(n int) string {
+	//lmovet:allow hotalloc
+	return fmt.Sprintf("cold-%d", n)
+}
+
+//lmovet:hotpath
+func hotCallsAllowed(n int) int {
+	if n < 0 {
+		_ = coldPath(n)
+	}
+	return n
+}

@@ -1,0 +1,81 @@
+// Package poolreuse_bad breaks the pooled-object lifecycle in every
+// way the poolreuse analyzer must catch, for both sync.Pool and a
+// hand-rolled freelist.
+package poolreuse_bad
+
+import "sync"
+
+type buf struct {
+	b []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+func useAfterPut() {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+	b.b = nil // want `use of b after it was returned to the pool`
+}
+
+func doublePut() {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+	pool.Put(b) // want `b returned to the pool twice`
+}
+
+func earlyReturnLeak(n int) int {
+	b := pool.Get().(*buf)
+	if n < 0 {
+		return -1 // want `return leaks pooled object b`
+	}
+	pool.Put(b)
+	return n
+}
+
+func returnAfterPut() int {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+	return len(b.b) // want `use of b after it was returned to the pool`
+}
+
+// Hand-rolled freelist, shaped like simnet's message pool.
+type msg struct {
+	id int
+}
+
+var freeMsgs []*msg
+
+func getMsg() *msg {
+	if n := len(freeMsgs); n > 0 {
+		m := freeMsgs[n-1]
+		freeMsgs = freeMsgs[:n-1]
+		return m
+	}
+	return new(msg)
+}
+
+func putMsg(m *msg) {
+	m.id = 0
+	freeMsgs = append(freeMsgs, m)
+}
+
+func freelistUseAfterPut() {
+	m := getMsg()
+	putMsg(m)
+	m.id = 7 // want `use of m after it was returned to the pool`
+}
+
+func freelistLeak(fail bool) error {
+	m := getMsg()
+	if fail {
+		return errFailed // want `return leaks pooled object m`
+	}
+	putMsg(m)
+	return nil
+}
+
+type simpleErr struct{}
+
+func (simpleErr) Error() string { return "failed" }
+
+var errFailed error = simpleErr{}

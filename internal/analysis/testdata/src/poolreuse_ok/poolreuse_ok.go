@@ -1,0 +1,80 @@
+// Package poolreuse_ok exercises the pooled-object patterns the
+// poolreuse analyzer must accept: branch-exclusive put/use, deferred
+// puts, ownership handoffs and reviewed abandonment.
+package poolreuse_ok
+
+import "sync"
+
+type buf struct {
+	b []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// branchPut puts on the fast path and keeps using the object on the
+// slow path: the put only governs its own block.
+func branchPut(fast bool) {
+	b := pool.Get().(*buf)
+	if fast {
+		pool.Put(b)
+		return
+	}
+	b.b = b.b[:0]
+	pool.Put(b)
+}
+
+// elseUse mirrors simnet.Fire: release in one branch, consume in the
+// other.
+func elseUse(deliver bool) int {
+	b := pool.Get().(*buf)
+	if !deliver {
+		pool.Put(b)
+		return 0
+	} else {
+		n := len(b.b)
+		pool.Put(b)
+		return n
+	}
+}
+
+// deferredPut covers every return, early or not.
+func deferredPut(n int) int {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	if n < 0 {
+		return -1
+	}
+	return n
+}
+
+// handoff returns the object: ownership moves to the caller.
+func handoff() *buf {
+	return pool.Get().(*buf)
+}
+
+func namedHandoff() *buf {
+	b := pool.Get().(*buf)
+	b.b = b.b[:0]
+	return b
+}
+
+// stash transfers ownership into a longer-lived structure.
+type holder struct {
+	cur *buf
+}
+
+func stash(h *holder) {
+	b := pool.Get().(*buf)
+	h.cur = b
+}
+
+// abandon leaves the object for another goroutine to release — the
+// reviewed, annotated handoff (simnet's abandoned-transit pattern).
+func abandon(timedOut bool) {
+	b := pool.Get().(*buf)
+	if timedOut {
+		//lmovet:allow poolreuse
+		return
+	}
+	pool.Put(b)
+}

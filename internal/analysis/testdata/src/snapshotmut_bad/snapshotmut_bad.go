@@ -1,0 +1,50 @@
+// Package snapshotmut_bad mutates copy-on-write snapshots in every
+// way the snapshotmut analyzer must catch: through values loaded from
+// an atomic.Pointer, after direct publication, after publication via a
+// stored composite literal, and after publication through a helper.
+package snapshotmut_bad
+
+import "sync/atomic"
+
+type snap struct {
+	entries map[string]int
+	n       int
+}
+
+type reg struct {
+	cur atomic.Pointer[snap]
+}
+
+func readerMutates(r *reg) {
+	s := r.cur.Load()
+	s.n = 7            // want `write through s mutates a snapshot obtained from atomic.Pointer.Load`
+	s.entries["k"] = 1 // want `write through s mutates a snapshot obtained from atomic.Pointer.Load`
+}
+
+func derivedMutates(r *reg) {
+	m := r.cur.Load().entries
+	m["k"] = 2       // want `write through m mutates a snapshot obtained from atomic.Pointer.Load`
+	delete(m, "old") // want `write through m mutates a snapshot obtained from atomic.Pointer.Load`
+}
+
+func publishThenWrite(r *reg, s *snap) {
+	r.cur.Store(s)
+	s.n = 9 // want `write through s after it was published via atomic.Pointer.Store`
+}
+
+func publishLiteral(r *reg, m map[string]int) {
+	r.cur.Store(&snap{entries: m})
+	m["k"] = 3 // want `write through m after it was published via atomic.Pointer.Store`
+}
+
+// publish hides the Store behind a helper; the publication summary
+// propagates through the call graph.
+func publish(r *reg, s *snap) {
+	r.cur.Store(s)
+}
+
+func helperPublishThenWrite(r *reg) {
+	s := &snap{entries: map[string]int{}}
+	publish(r, s)
+	s.n = 4 // want `write through s after it was published via atomic.Pointer.Store`
+}

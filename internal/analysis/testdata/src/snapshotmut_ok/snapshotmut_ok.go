@@ -1,0 +1,50 @@
+// Package snapshotmut_ok shows the copy-on-write discipline the
+// snapshotmut analyzer accepts: read snapshots freely, build a fresh
+// value, finish mutating it, then publish.
+package snapshotmut_ok
+
+import "sync/atomic"
+
+type snap struct {
+	entries map[string]int
+	n       int
+}
+
+type reg struct {
+	cur atomic.Pointer[snap]
+}
+
+// insert is the canonical copy-on-write update: every mutation
+// happens on the fresh value before the Store.
+func insert(r *reg, k string, v int) {
+	old := r.cur.Load()
+	next := &snap{entries: make(map[string]int, len(old.entries)+1)}
+	for key, val := range old.entries {
+		next.entries[key] = val
+	}
+	next.entries[k] = v
+	next.n = old.n + 1
+	r.cur.Store(next)
+}
+
+// Reading through a loaded snapshot is always fine.
+func lookup(r *reg, k string) (int, bool) {
+	s := r.cur.Load()
+	v, ok := s.entries[k]
+	return v, ok
+}
+
+// Rebinding the local is not mutation of the snapshot.
+func rebind(r *reg) *snap {
+	s := r.cur.Load()
+	s = &snap{}
+	return s
+}
+
+// A reviewed exception: single-threaded initialization before any
+// reader can hold the pointer.
+func seed(r *reg) {
+	r.cur.Store(&snap{entries: map[string]int{}})
+	s := r.cur.Load()
+	s.n = 1 //lmovet:allow snapshotmut
+}

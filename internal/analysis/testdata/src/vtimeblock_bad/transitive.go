@@ -1,0 +1,25 @@
+// Deep propagation: proc context flows through multiple levels of
+// same-package calls, and the diagnostic names the witness chain.
+package vtimeblock_bad
+
+import (
+	"sync"
+
+	"vtime"
+)
+
+var deepMu sync.Mutex
+
+func spawnDeep(e *vtime.Engine) {
+	e.Go("deep", func(p *vtime.Proc) {
+		level1()
+	})
+}
+
+func level1() {
+	level2()
+}
+
+func level2() {
+	deepMu.Lock() // want `sync.Mutex.Lock in vtime proc context parks the dispatcher goroutine and deadlocks the virtual clock .reached from a vtime proc body via level1 → level2`
+}

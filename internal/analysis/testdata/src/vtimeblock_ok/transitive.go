@@ -1,0 +1,22 @@
+// Negative transitive cases: functions that block but are never
+// reachable from a vtime proc body stay unflagged, however the call
+// chains run.
+package vtimeblock_ok
+
+import "sync"
+
+var coldMu sync.Mutex
+
+// coldLeaf blocks for real, but only harness-side code reaches it.
+func coldLeaf() {
+	coldMu.Lock()
+	defer coldMu.Unlock()
+}
+
+func coldMid() {
+	coldLeaf()
+}
+
+func coldEntry() {
+	coldMid()
+}

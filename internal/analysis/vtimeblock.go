@@ -18,9 +18,12 @@ import (
 //
 // Context is seeded from spawn and scheduling call sites —
 // Engine.Go(name, body), Engine.At(t, fn), Engine.After(d, fn) on a
-// vtime engine — and propagated one level through same-package static
-// calls from those bodies. The vtime kernel itself is excluded by the
-// driver: its channel handoff is the mechanism the invariant protects.
+// vtime engine — and propagated transitively through the package call
+// graph: every same-package function reachable from a seeded body
+// runs in proc context, however deep the call chain. Diagnostics in
+// transitively reached functions name the chain from the proc root.
+// The vtime kernel itself is excluded by the driver: its channel
+// handoff is the mechanism the invariant protects.
 var Vtimeblock = &Analyzer{
 	Name: "vtimeblock",
 	Doc:  "flag real blocking primitives reachable from vtime process context",
@@ -45,33 +48,43 @@ var blockingSyncMethods = map[string]map[string]bool{
 	"Once":      {"Do": true},
 }
 
+// procContext is one body known to execute in vtime proc context: a
+// seeded function literal or declaration, or a declaration reached
+// through the call graph. chain names the call path from the seed
+// (empty for seeds themselves).
+type procContext struct {
+	body  ast.Node
+	chain []string
+}
+
 func runVtimeblock(pass *Pass) error {
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok {
-				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-					decls[obj] = fd
-				}
-			}
-		}
-	}
+	cg := pass.CallGraph()
 
 	// Seed pass: bodies handed to Engine.Go / Engine.At / Engine.After.
-	contexts := map[ast.Node]bool{}
-	var addContext func(arg ast.Expr)
-	addContext = func(arg ast.Expr) {
+	var contexts []procContext
+	inContext := map[ast.Node]bool{}
+	reached := map[*types.Func]bool{}
+	addSeedDecl := func(fn *types.Func) {
+		if fd := cg.Decl(fn); fd != nil && !inContext[fd] {
+			inContext[fd] = true
+			reached[fn] = true
+			contexts = append(contexts, procContext{body: fd})
+		}
+	}
+	var addSeed func(arg ast.Expr)
+	addSeed = func(arg ast.Expr) {
 		switch a := arg.(type) {
 		case *ast.FuncLit:
-			contexts[a] = true
+			if !inContext[a] {
+				inContext[a] = true
+				contexts = append(contexts, procContext{body: a})
+			}
 		case *ast.Ident:
 			if fn, ok := pass.TypesInfo.Uses[a].(*types.Func); ok {
-				if fd := decls[fn]; fd != nil && fd.Body != nil {
-					contexts[fd] = true
-				}
+				addSeedDecl(fn)
 			}
 		case *ast.SelectorExpr:
-			addContext(a.Sel)
+			addSeed(a.Sel)
 		}
 	}
 	for _, f := range pass.Files {
@@ -95,61 +108,55 @@ func runVtimeblock(pass *Pass) error {
 			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
 				return true
 			}
-			addContext(call.Args[argIdx])
+			addSeed(call.Args[argIdx])
 			return true
 		})
 	}
 
-	// One level of intra-package propagation: functions statically
-	// called from a seeded body also run in proc context. Set union;
-	// visiting order cannot change the resulting context set.
-	//lmovet:commutative
-	for body := range copyNodeSet(contexts) {
-		ast.Inspect(body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+	// Transitive propagation over the package call graph: everything a
+	// seeded body calls, and everything those functions call, also runs
+	// in proc context. Worklist BFS; the chain records the first (and
+	// therefore shortest-by-discovery) witness path for diagnostics.
+	var work []procContext
+	work = append(work, contexts...)
+	for len(work) > 0 {
+		cur := work[0]
+		work = work[1:]
+		var edges []CallEdge
+		if fd, ok := cur.body.(*ast.FuncDecl); ok {
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				edges = cg.Callees(fn)
 			}
-			var callee *types.Func
-			switch fun := call.Fun.(type) {
-			case *ast.Ident:
-				callee, _ = pass.TypesInfo.Uses[fun].(*types.Func)
-			case *ast.SelectorExpr:
-				callee, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		} else {
+			edges = cg.CalleesIn(cur.body)
+		}
+		for _, e := range edges {
+			if reached[e.Callee] {
+				continue
 			}
-			if callee == nil || callee.Pkg() != pass.Pkg {
-				return true
+			fd := cg.Decl(e.Callee)
+			if fd == nil {
+				continue
 			}
-			if fd := decls[callee]; fd != nil && fd.Body != nil {
-				contexts[fd] = true
+			reached[e.Callee] = true
+			inContext[fd] = true
+			next := procContext{
+				body:  fd,
+				chain: append(append([]string{}, cur.chain...), e.Callee.Name()),
 			}
-			return true
-		})
+			contexts = append(contexts, next)
+			work = append(work, next)
+		}
 	}
 
 	// Check bodies in source order so report order never depends on
-	// map iteration (RunAnalyzer sorts too; this keeps the walk itself
-	// deterministic).
-	ordered := make([]ast.Node, 0, len(contexts))
-	//lmovet:commutative
-	for body := range contexts {
-		ordered = append(ordered, body)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Pos() < ordered[j].Pos() })
-	for _, body := range ordered {
-		checkVtimeContext(pass, body)
+	// discovery order (RunAnalyzers sorts too; this keeps the walk
+	// itself deterministic).
+	sort.Slice(contexts, func(i, j int) bool { return contexts[i].body.Pos() < contexts[j].body.Pos() })
+	for _, c := range contexts {
+		checkVtimeContext(pass, c)
 	}
 	return nil
-}
-
-func copyNodeSet(m map[ast.Node]bool) map[ast.Node]bool {
-	out := make(map[ast.Node]bool, len(m))
-	// Plain set copy, order-free.
-	//lmovet:commutative
-	for k := range m {
-		out[k] = true
-	}
-	return out
 }
 
 // isVtimePkg matches the simulator kernel package both in the real
@@ -158,33 +165,45 @@ func isVtimePkg(path string) bool {
 	return path == "vtime" || strings.HasSuffix(path, "/vtime")
 }
 
+// via renders the call chain suffix of a diagnostic in a transitively
+// reached function ("" for directly seeded bodies).
+func (c procContext) via() string {
+	if len(c.chain) == 0 {
+		return ""
+	}
+	return " (reached from a vtime proc body via " + strings.Join(c.chain, " → ") + ")"
+}
+
 // checkVtimeContext walks one proc-context body and reports real
-// blocking constructs.
-func checkVtimeContext(pass *Pass, body ast.Node) {
-	ast.Inspect(body, func(n ast.Node) bool {
+// blocking constructs. Nested function literals are included: they
+// execute under the same process unless handed back to the engine,
+// and the seed pass has already classified those.
+func checkVtimeContext(pass *Pass, c procContext) {
+	suffix := c.via()
+	ast.Inspect(c.body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.SendStmt:
-			pass.Reportf(v.Pos(), "real channel send in vtime proc context blocks the virtual clock; use vtime.Cond/Resource")
+			pass.Reportf(v.Pos(), "real channel send in vtime proc context blocks the virtual clock; use vtime.Cond/Resource%s", suffix)
 		case *ast.UnaryExpr:
 			if v.Op == token.ARROW {
-				pass.Reportf(v.Pos(), "real channel receive in vtime proc context blocks the virtual clock; use vtime.Cond/Resource")
+				pass.Reportf(v.Pos(), "real channel receive in vtime proc context blocks the virtual clock; use vtime.Cond/Resource%s", suffix)
 			}
 		case *ast.SelectStmt:
-			pass.Reportf(v.Pos(), "select over real channels in vtime proc context blocks the virtual clock")
+			pass.Reportf(v.Pos(), "select over real channels in vtime proc context blocks the virtual clock%s", suffix)
 		case *ast.RangeStmt:
 			if tv, ok := pass.TypesInfo.Types[v.X]; ok {
 				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
-					pass.Reportf(v.Pos(), "range over a real channel in vtime proc context blocks the virtual clock")
+					pass.Reportf(v.Pos(), "range over a real channel in vtime proc context blocks the virtual clock%s", suffix)
 				}
 			}
 		case *ast.CallExpr:
-			checkVtimeCall(pass, v)
+			checkVtimeCall(pass, v, suffix)
 		}
 		return true
 	})
 }
 
-func checkVtimeCall(pass *Pass, call *ast.CallExpr) {
+func checkVtimeCall(pass *Pass, call *ast.CallExpr, suffix string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return
@@ -195,7 +214,7 @@ func checkVtimeCall(pass *Pass, call *ast.CallExpr) {
 	}
 	sig, _ := fn.Type().(*types.Signature)
 	if fn.Pkg().Path() == "time" && sig != nil && sig.Recv() == nil && fn.Name() == "Sleep" {
-		pass.Reportf(call.Pos(), "time.Sleep in vtime proc context stalls the host goroutine, not virtual time; use Proc.Sleep")
+		pass.Reportf(call.Pos(), "time.Sleep in vtime proc context stalls the host goroutine, not virtual time; use Proc.Sleep%s", suffix)
 		return
 	}
 	if fn.Pkg().Path() != "sync" || sig == nil || sig.Recv() == nil {
@@ -211,7 +230,7 @@ func checkVtimeCall(pass *Pass, call *ast.CallExpr) {
 	}
 	if methods := blockingSyncMethods[named.Obj().Name()]; methods[fn.Name()] {
 		pass.Reportf(call.Pos(),
-			"sync.%s.%s in vtime proc context parks the dispatcher goroutine and deadlocks the virtual clock",
-			named.Obj().Name(), fn.Name())
+			"sync.%s.%s in vtime proc context parks the dispatcher goroutine and deadlocks the virtual clock%s",
+			named.Obj().Name(), fn.Name(), suffix)
 	}
 }

@@ -318,7 +318,9 @@ func (n *Network) SetFaults(plan *faults.Plan) error {
 			// processes resume in their original park order regardless
 			// of which cond was broadcast first. Guarded by
 			// TestCrashBroadcastDeterministicWithRendezvousWaiters.
-			//lmovet:commutative
+			// (n.conds was a map when this loop needed an
+			// //lmovet:commutative waiver; it is a slice now, so the
+			// directive would be stale and directiveaudit rejects it.)
 			for _, c := range n.conds {
 				c.Broadcast()
 			}

@@ -1,0 +1,75 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpecValid pins the accepted grammar: every documented kind
+// parses and produces the advertised node count.
+func TestParseSpecValid(t *testing.T) {
+	cases := []struct {
+		spec  string
+		nodes int
+	}{
+		{"single:8", 8},
+		{"twotier:4x8", 32},
+		{"fattree:4", 16}, // k³/4
+		{"multicluster:3x5", 15},
+	}
+	for _, c := range cases {
+		tp, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): unexpected error %v", c.spec, err)
+			continue
+		}
+		if tp.Nodes() != c.nodes {
+			t.Errorf("ParseSpec(%q).Nodes() = %d, want %d", c.spec, tp.Nodes(), c.nodes)
+		}
+	}
+}
+
+// TestParseSpecErrors walks every rejection path: missing separator,
+// malformed or non-positive counts and dimensions, odd or too-small
+// fat-tree arity, and unknown kinds. Each error must mention the
+// offending spec so operators can find the bad flag.
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantSub string
+	}{
+		{"single8", "needs the form kind:params"},
+		{"", "needs the form kind:params"},
+		{"single:", "bad node count"},
+		{"single:abc", "bad node count"},
+		{"single:0", "bad node count"},
+		{"single:-3", "bad node count"},
+		{"twotier:4", "needs AxB dimensions"},
+		{"twotier:x", "bad dimensions"},
+		{"twotier:4x", "bad dimensions"},
+		{"twotier:ax8", "bad dimensions"},
+		{"twotier:0x8", "bad dimensions"},
+		{"twotier:4x-1", "bad dimensions"},
+		{"fattree:", "even k >= 2"},
+		{"fattree:3", "even k >= 2"},
+		{"fattree:0", "even k >= 2"},
+		{"fattree:-4", "even k >= 2"},
+		{"multicluster:5", "needs AxB dimensions"},
+		{"multicluster:0x5", "bad dimensions"},
+		{"ring:8", "unknown topology kind"},
+		{"Single:8", "unknown topology kind"},
+	}
+	for _, c := range cases {
+		tp, err := ParseSpec(c.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): expected error, got topology %q", c.spec, tp.Name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseSpec(%q) error = %q, want substring %q", c.spec, err, c.wantSub)
+		}
+		if !strings.Contains(err.Error(), "topo:") {
+			t.Errorf("ParseSpec(%q) error %q does not carry the topo: prefix", c.spec, err)
+		}
+	}
+}

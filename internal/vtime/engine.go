@@ -307,6 +307,9 @@ func (e *Engine) bumpSteps() bool {
 	e.steps++
 	if e.steps > e.maxSteps {
 		if e.failErr == nil {
+			// Fires at most once per Run, on the failure path that ends
+			// the simulation.
+			//lmovet:allow hotalloc
 			e.failErr = fmt.Errorf("vtime: exceeded %d steps at %v", e.maxSteps, e.now)
 		}
 		return false
@@ -318,6 +321,10 @@ func (e *Engine) bumpSteps() bool {
 // can be re-raised from Run on the caller's stack (an event may execute
 // on whichever goroutine holds the dispatcher role).
 func (e *Engine) callEvent(ev event) {
+	// The deferred recover closure is open-coded by the compiler and
+	// captures only the receiver; it does not heap-allocate (guarded by
+	// the simbench zero-alloc benchmarks).
+	//lmovet:allow hotalloc
 	defer func() {
 		if r := recover(); r != nil {
 			e.cbPanic = r
