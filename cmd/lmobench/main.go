@@ -36,12 +36,14 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/textplot"
 	"repro/internal/topo"
+	"repro/internal/tuned"
 )
 
 func main() {
@@ -61,6 +63,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		gantt    = flag.String("gantt", "", "with -seeds > 1: write the campaign's task Gantt chart as a Chrome trace_event file")
+		tunedTab = flag.String("tuned", "", "decision-table file for -exp tune: when it exists the tuner answers from it (no re-tuning); otherwise the freshly tuned table is written there")
 	)
 	flag.Parse()
 
@@ -98,6 +101,7 @@ func main() {
 		for _, r := range experiment.Runners() {
 			fmt.Printf("  %-8s %s\n", r.ID, r.Brief)
 		}
+		fmt.Printf("  %-8s %s\n", "tune", "model-guided collective auto-tuning: prune + simulate, decision table, gather-splitting win")
 		return
 	}
 
@@ -138,6 +142,19 @@ func main() {
 		cfg.Profile = cluster.Ideal()
 	default:
 		fmt.Fprintf(os.Stderr, "lmobench: unknown -mpi %q (lam, mpich, ideal)\n", *mpiName)
+		os.Exit(2)
+	}
+
+	if *exp == "tune" {
+		if *seeds > 1 {
+			fmt.Fprintln(os.Stderr, "lmobench: -exp tune runs its own validation campaign; -seeds sweeps are not supported")
+			os.Exit(2)
+		}
+		runTune(cfg, *tunedTab, *csvPath)
+		return
+	}
+	if *tunedTab != "" {
+		fmt.Fprintln(os.Stderr, "lmobench: -tuned only applies to -exp tune")
 		os.Exit(2)
 	}
 
@@ -219,6 +236,80 @@ func main() {
 			fmt.Printf("(series written to %s)\n\n", path)
 		}
 	}
+}
+
+// runTune runs the model-guided auto-tuning experiment: estimate the
+// LMO model, prune the candidate space with its closed-form
+// predictions, validate the survivors in the event simulator, and
+// render the predicted-vs-simulated makespan report with the
+// gather-splitting comparison. With tablePath naming an existing file
+// the tuner answers from that decision table instead of re-tuning;
+// otherwise the fresh table is written there.
+func runTune(cfg experiment.Config, tablePath, csvPath string) {
+	start := time.Now()
+	if tablePath != "" {
+		if data, err := os.ReadFile(tablePath); err == nil {
+			tbl, err := tuned.UnmarshalTable(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lmobench: %s: %v\n", tablePath, err)
+				os.Exit(2)
+			}
+			fmt.Printf("answering from decision table %s (no re-tuning):\n\n", tablePath)
+			renderDecisionTable(tbl)
+			return
+		}
+		// Missing file: tune below and write the result there.
+	}
+	rep, res, err := autotune.Experiment(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmobench: tune: %v\n", err)
+		os.Exit(1)
+	}
+	experiment.Render(os.Stdout, rep)
+	fmt.Printf("(tune completed in %v wall-clock: %d-candidate space per cell, %d simulator validations)\n\n",
+		time.Since(start).Round(time.Millisecond), res.Candidates, res.Simulated)
+	if tablePath != "" {
+		data, err := res.Table.Marshal()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(tablePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(decision table written to %s)\n\n", tablePath)
+	}
+	if csvPath != "" && len(rep.Series) > 0 {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiment.WriteCSV(f, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "lmobench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("(series written to %s)\n\n", csvPath)
+	}
+}
+
+// renderDecisionTable prints a decision table's rules.
+func renderDecisionTable(tbl *tuned.Table) {
+	if m := tbl.Meta; m != nil {
+		fmt.Printf("tuned for %s (%d nodes) under %s, seed %d\n\n", m.Cluster, m.Nodes, m.Profile, m.Seed)
+	}
+	rows := [][]string{{"op", "range (bytes)", "shape", "predicted (s)", "simulated (s)"}}
+	for _, r := range tbl.Rules {
+		hi := "inf"
+		if r.MaxBytes > 0 {
+			hi = fmt.Sprint(r.MaxBytes)
+		}
+		rows = append(rows, []string{string(r.Op), fmt.Sprintf("[%d, %s)", r.MinBytes, hi),
+			r.String(), fmt.Sprintf("%.6f", r.PredictedS), fmt.Sprintf("%.6f", r.SimulatedS)})
+	}
+	fmt.Println(textplot.Table(rows))
 }
 
 // runCampaign sweeps the experiments over nSeeds consecutive seeds

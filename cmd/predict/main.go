@@ -17,8 +17,10 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/models"
 	"repro/internal/mpi"
+	"repro/internal/optimize"
 	"repro/internal/textplot"
 	"repro/internal/topo"
+	"repro/internal/tuned"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 		modPath  = flag.String("models", "", "load estimated models from this JSON file (from cmd/estimate -json) instead of re-estimating")
 		topoSpec = flag.String("topo", "", "homogeneous multi-switch cluster from a topology spec (single:N, twotier:RxP, fattree:K, multicluster:SxP) instead of Table I")
 		batch    = flag.String("batch", "", `batch mode: read JSONL queries ({"op","alg","m","root"}, blanks inherit the flags) from this file ("-" = stdin) and emit one JSON prediction per line; skips the observation run`)
+		tunedTab = flag.String("tuned", "", "answer from an auto-tuned decision table (JSON from lmobench -exp tune or lmoserve /tune): print its chosen shape for this op and size and observe it")
 	)
 	flag.Parse()
 
@@ -188,6 +191,10 @@ func main() {
 	fmt.Printf("\n%s %s of %d-byte blocks on %d nodes (root %d):\n\n", *algName, *opName, *size, n, *root)
 	fmt.Println(textplot.Table(rows))
 
+	if *tunedTab != "" {
+		reportTuned(cfg, *tunedTab, *opName, *size, *root, obs.Mean[0])
+	}
+
 	if op == experiment.Gather && alg == mpi.Linear && ms.LMO.Gather.Valid() {
 		lo, hi := ms.LMO.GatherLinearBand(*root, n, *size)
 		if hi > lo {
@@ -309,6 +316,57 @@ func runBatch(path string, ms *experiment.ModelSet, n int, defOp, defAlg string,
 	if err := sc.Err(); err != nil {
 		fail("%v", err)
 	}
+}
+
+// reportTuned answers the query from an auto-tuned decision table:
+// look up the rule covering (op, m), print the chosen shape with its
+// tuning-time predictions, then observe that shape on this cluster and
+// compare it with the naive observation obsNaive.
+func reportTuned(cfg experiment.Config, path, opName string, m, root int, obsNaive float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	tbl, err := tuned.UnmarshalTable(data)
+	if err != nil {
+		fail("%v", err)
+	}
+	n := cfg.Cluster.N()
+	if meta := tbl.Meta; meta != nil && meta.Nodes != n {
+		fail("decision table %s was tuned for %d nodes; this cluster has %d", path, meta.Nodes, n)
+	}
+	rule, ok := tbl.Lookup(tuned.Op(opName), m)
+	if !ok {
+		fmt.Printf("tuned: %s has no %s rule covering %d bytes\n", path, opName, m)
+		return
+	}
+	alg, err := rule.AlgValue()
+	if err != nil {
+		fail("%v", err)
+	}
+	mcfg := mpi.Config{Cluster: cfg.Cluster, Profile: cfg.Profile, Seed: cfg.Seed, Faults: cfg.Faults}
+	res, err := mpi.Run(mcfg, func(r *mpi.Rank) {
+		if tuned.Op(opName) == tuned.OpGather {
+			optimize.ExecGather(r, alg, rule.Degree, rule.Segment, tbl.Root, make([]byte, m))
+			return
+		}
+		var blocks [][]byte
+		if r.Rank() == tbl.Root {
+			blocks = make([][]byte, n)
+			for i := range blocks {
+				blocks[i] = make([]byte, m)
+			}
+		}
+		optimize.ExecScatter(r, alg, rule.Degree, rule.Segment, tbl.Root, m, blocks)
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	got := res.Duration.Seconds()
+	fmt.Printf("\ntuned decision for %s at %d bytes: %s\n", opName, m, rule.String())
+	fmt.Printf("  tuning-time: predicted %.6f s, simulated %.6f s\n", rule.PredictedS, rule.SimulatedS)
+	fmt.Printf("  observed here: %.6f s (%+.1f%% vs the flagged algorithm's %.6f s)\n",
+		got, 100*(got-obsNaive)/obsNaive, obsNaive)
 }
 
 func fail(format string, args ...any) {

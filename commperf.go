@@ -91,13 +91,42 @@ type (
 	GatherEmpirical = models.GatherEmpirical
 	// TreePredictor is a model able to predict collectives over
 	// arbitrary communication trees.
+	//
+	// Deprecated: use CollectivePredictor, which subsumes it.
 	TreePredictor = models.TreePredictor
+	// CollectivePredictor is the unified predictor interface: one
+	// Alg-keyed Predict entry point plus a capabilities surface. Every
+	// model satisfies it (directly or via AdaptPredictor).
+	CollectivePredictor = models.CollectivePredictor
+	// PredictQuery describes one collective prediction: collective,
+	// algorithm shape, root, processor count and message size.
+	PredictQuery = models.Query
+	// PredictorCapabilities declares what a predictor can answer.
+	PredictorCapabilities = models.Capabilities
+	// Collective names a collective operation in a PredictQuery.
+	Collective = models.Collective
 	// ModelFile is the JSON representation of estimated models.
 	ModelFile = models.ModelFile
 	// ModelMeta records the provenance of a model file (cluster,
 	// profile, seed, estimating tool).
 	ModelMeta = models.Meta
 )
+
+// The collectives a PredictQuery can name.
+const (
+	// CollScatter predicts a scatter.
+	CollScatter = models.CollScatter
+	// CollGather predicts a gather.
+	CollGather = models.CollGather
+	// CollBcast predicts a broadcast.
+	CollBcast = models.CollBcast
+	// CollReduce predicts a reduce.
+	CollReduce = models.CollReduce
+)
+
+// AdaptPredictor lifts a legacy Predictor (optionally a TreePredictor)
+// into the unified CollectivePredictor interface.
+var AdaptPredictor = models.Adapt
 
 // Message passing.
 type (

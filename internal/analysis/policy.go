@@ -22,6 +22,8 @@ var deterministicPkgs = map[string]bool{
 	"repro/internal/faults":     true,
 	"repro/internal/models":     true,
 	"repro/internal/experiment": true,
+	"repro/internal/autotune":   true,
+	"repro/internal/tuned":      true,
 	"repro/internal/obs":        true,
 	"repro/internal/topo":       true,
 }

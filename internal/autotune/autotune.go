@@ -1,0 +1,415 @@
+// Package autotune is the model-guided collective auto-tuner. For
+// each (collective, message-size range) cell on one cluster it
+// enumerates a candidate space of algorithm × tree degree × segment
+// size, prunes it with cheap closed-form predictions on the unified
+// predictor interface (models.CollectivePredictor), validates the
+// surviving top-k candidates in the event simulator through the
+// campaign engine, and emits a versioned tuned.Table decision table
+// that a tuned.Tuner replays at call time.
+//
+// The pipeline is the paper's optimization loop made systematic: the
+// LMO model's analytical predictions (eqs 3–5 plus the empirical
+// gather branches) are cheap enough to rank dozens of candidate
+// shapes per cell, and the simulator — the stand-in for real runs —
+// confirms only the few that survive. The gather-splitting ~10× win
+// of Fig 7 falls out as the tuner picking linear+segmented inside the
+// TCP irregularity region.
+package autotune
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/models"
+	"repro/internal/mpi"
+	"repro/internal/optimize"
+	"repro/internal/tuned"
+)
+
+// Candidate is one point of the tuning search space: an algorithm
+// family, an optional k-ary tree degree (0 = the family's own tree,
+// ≥2 overrides it), and an optional segment size (0 = unsegmented).
+type Candidate struct {
+	Alg     mpi.Alg `json:"alg"`
+	Degree  int     `json:"degree,omitempty"`
+	Segment int     `json:"segment,omitempty"`
+}
+
+// String renders the candidate like a tuned.Rule shape
+// ("linear+seg4096", "binary/k=4").
+func (c Candidate) String() string {
+	return tuned.Rule{Alg: c.Alg.String(), Degree: c.Degree, Segment: c.Segment}.String()
+}
+
+// Query is the closed-form question this candidate poses to a model.
+func (c Candidate) Query(coll models.Collective, root, n, m int) models.Query {
+	return models.Query{Coll: coll, Alg: c.Alg, Root: root, N: n, M: m, Degree: c.Degree, Segment: c.Segment}
+}
+
+// rule converts the candidate into a decision-table rule body.
+func (c Candidate) rule(op tuned.Op, min, max int) tuned.Rule {
+	return tuned.Rule{Op: op, MinBytes: min, MaxBytes: max,
+		Alg: c.Alg.String(), Degree: c.Degree, Segment: c.Segment}
+}
+
+// DefaultCandidates enumerates the stock search space: every
+// algorithm family unsegmented and with 4K/16K segments, plus k-ary
+// trees of degree 4 and 8. When the model is an LMO with detected
+// gather irregularity, the empirical split segment (M1) joins the
+// segment set so the Fig 7 optimization is always reachable.
+func DefaultCandidates(model models.CollectivePredictor) []Candidate {
+	segments := []int{0, 4 << 10, 16 << 10}
+	if lmo, ok := model.(*models.LMOX); ok && lmo.Gather.Valid() {
+		s := optimize.GatherSegment(lmo.Gather)
+		dup := false
+		for _, have := range segments {
+			dup = dup || have == s
+		}
+		if s > 0 && !dup {
+			segments = append(segments, s)
+		}
+	}
+	var cands []Candidate
+	for _, alg := range mpi.Algorithms() {
+		for _, seg := range segments {
+			cands = append(cands, Candidate{Alg: alg, Segment: seg})
+		}
+	}
+	for _, k := range []int{4, 8} {
+		for _, seg := range segments {
+			cands = append(cands, Candidate{Alg: mpi.Binary, Degree: k, Segment: seg})
+		}
+	}
+	return cands
+}
+
+// Scored is a candidate with its closed-form prediction and (for
+// prune survivors) its simulated makespan, both in seconds.
+type Scored struct {
+	Candidate  Candidate `json:"candidate"`
+	PredictedS float64   `json:"predicted_s"`
+	SimulatedS float64   `json:"simulated_s,omitempty"`
+}
+
+// Cell is one tuning cell: a collective operation at one probed
+// message size. Ranked holds the prune survivors in closed-form
+// order; Winner the simulator-validated best.
+type Cell struct {
+	Op tuned.Op `json:"op"`
+	M  int      `json:"m"`
+
+	// Infeasible counts candidates the model could not answer;
+	// Pruned the answerable candidates dropped by the closed-form
+	// ranking before simulation.
+	Infeasible int      `json:"infeasible"`
+	Pruned     int      `json:"pruned"`
+	Ranked     []Scored `json:"ranked"`
+	Winner     Scored   `json:"winner"`
+
+	// Agree reports whether the closed-form top-1 candidate held up
+	// in the simulator: it either won outright or its simulated
+	// makespan is within 10% of the winner's.
+	Agree bool `json:"agree"`
+}
+
+// Options shape a tuning run.
+type Options struct {
+	// Ops are the collectives to tune (default scatter and gather).
+	Ops []tuned.Op
+	// MsgSizes are the probed sizes; each becomes a decision-table
+	// range [size_i, size_i+1). Default: the experiment sweep
+	// 1 KB – 200 KB (experiment.DefaultSizes).
+	MsgSizes []int
+	// TopK survivors of the closed-form prune are validated in the
+	// simulator (default 3).
+	TopK int
+	// Candidates overrides the search space (default
+	// DefaultCandidates(model)).
+	Candidates []Candidate
+	// Root is the collective root rank.
+	Root int
+	// Parallel caps the campaign worker pool (<=0 = GOMAXPROCS).
+	Parallel int
+	// Stats, when non-nil, receives live campaign progress counters.
+	Stats *campaign.Stats
+	// ClusterName labels the table's provenance metadata.
+	ClusterName string
+}
+
+func (o Options) withDefaults(model models.CollectivePredictor) Options {
+	if len(o.Ops) == 0 {
+		o.Ops = []tuned.Op{tuned.OpScatter, tuned.OpGather}
+	}
+	if len(o.MsgSizes) == 0 {
+		o.MsgSizes = experiment.DefaultSizes()
+	}
+	sizes := append([]int(nil), o.MsgSizes...)
+	sort.Ints(sizes)
+	o.MsgSizes = sizes
+	if o.TopK <= 0 {
+		o.TopK = 3
+	}
+	if len(o.Candidates) == 0 {
+		o.Candidates = DefaultCandidates(model)
+	}
+	if o.ClusterName == "" {
+		o.ClusterName = "cluster"
+	}
+	return o
+}
+
+// Result is a completed tuning run: the decision table plus the full
+// per-cell evidence behind it.
+type Result struct {
+	Table *tuned.Table `json:"table"`
+	Cells []Cell       `json:"cells"`
+
+	// Agreement is the fraction of cells whose closed-form top-1
+	// candidate held up in the simulator (the model-fidelity metric;
+	// the acceptance bar is 0.8).
+	Agreement float64 `json:"agreement"`
+
+	// Candidates is the per-cell search-space size, Simulated the
+	// number of simulator validations the prune left standing.
+	Candidates int `json:"candidates"`
+	Simulated  int `json:"simulated"`
+
+	// Outcome is the validation campaign's raw outcome (wall time,
+	// per-candidate task results); excluded from the JSON form, which
+	// carries the digested Cells instead.
+	Outcome *campaign.Outcome `json:"-"`
+}
+
+// collFor maps a tuned table operation onto the predictor vocabulary.
+func collFor(op tuned.Op) (models.Collective, error) {
+	switch op {
+	case tuned.OpScatter:
+		return models.CollScatter, nil
+	case tuned.OpGather:
+		return models.CollGather, nil
+	}
+	return 0, fmt.Errorf("autotune: cannot tune op %q", op)
+}
+
+// Tune runs the full pipeline — enumerate, prune, simulate, decide —
+// for one cluster and model. The cfg supplies the machine, TCP
+// profile and seed (zero-value fields fall back to the experiment
+// defaults: Table 1 cluster, LAM profile).
+func Tune(ctx context.Context, cfg experiment.Config, model models.CollectivePredictor, opt Options) (*Result, error) {
+	if model == nil {
+		return nil, fmt.Errorf("autotune: nil model")
+	}
+	def := experiment.Default()
+	if cfg.Cluster == nil {
+		cfg.Cluster = def.Cluster
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = def.Profile
+	}
+	if cfg.ObsReps <= 0 {
+		cfg.ObsReps = def.ObsReps
+	}
+	opt = opt.withDefaults(model)
+	n := cfg.Cluster.N()
+
+	// Phase 1: closed-form prune. The model answers every candidate it
+	// can; the rest are infeasible for this (model, cell) pair. Only
+	// the top-k by predicted makespan move on to simulation.
+	var cells []Cell
+	for _, op := range opt.Ops {
+		coll, err := collFor(op)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range opt.MsgSizes {
+			cell := Cell{Op: op, M: m}
+			for _, c := range opt.Candidates {
+				pred, err := model.Predict(c.Query(coll, opt.Root, n, m))
+				if err != nil {
+					cell.Infeasible++
+					continue
+				}
+				cell.Ranked = append(cell.Ranked, Scored{Candidate: c, PredictedS: pred})
+			}
+			sort.SliceStable(cell.Ranked, func(a, b int) bool {
+				return cell.Ranked[a].PredictedS < cell.Ranked[b].PredictedS
+			})
+			if len(cell.Ranked) > opt.TopK {
+				cell.Pruned = len(cell.Ranked) - opt.TopK
+				cell.Ranked = cell.Ranked[:opt.TopK]
+			}
+			if len(cell.Ranked) == 0 {
+				return nil, fmt.Errorf("autotune: model %q answered no candidate for %s at %d bytes", model.Name(), op, m)
+			}
+			cells = append(cells, cell)
+		}
+	}
+
+	// Phase 2: simulator validation through the campaign engine — one
+	// Custom target per surviving (cell, candidate), executed by a
+	// RunTask hook that replays the exact candidate shape with
+	// optimize.ExecScatter/ExecGather and reports the virtual-time
+	// makespan.
+	type ref struct{ cell, cand int }
+	var targets []campaign.Target
+	var refs []ref
+	for ci := range cells {
+		for ki := range cells[ci].Ranked {
+			targets = append(targets, campaign.Target{
+				Kind: campaign.Custom,
+				ID:   fmt.Sprintf("%s/%d/%s", cells[ci].Op, cells[ci].M, cells[ci].Ranked[ki].Candidate),
+			})
+			refs = append(refs, ref{ci, ki})
+		}
+	}
+	grid := campaign.Grid{
+		Seeds:    []int64{cfg.Seed},
+		Profiles: []*cluster.TCPProfile{cfg.Profile},
+		Clusters: []campaign.ClusterSpec{{Name: opt.ClusterName, Cluster: cfg.Cluster}},
+		Targets:  targets,
+	}
+	out, err := campaign.Run(ctx, grid, campaign.Options{
+		Parallel: opt.Parallel,
+		Stats:    opt.Stats,
+		RunTask: func(_ campaign.Grid, t campaign.Task) campaign.Result {
+			r := t.NewResult()
+			rf := refs[t.Coord.Target]
+			cell := cells[rf.cell]
+			s, err := Simulate(cfg, cell.Op, cell.Ranked[rf.cand].Candidate, opt.Root, cell.M)
+			if err != nil {
+				r.Err = err.Error()
+				return r
+			}
+			r.Metrics = map[string]float64{"makespan_s": s}
+			return r
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range out.Results {
+		rf := refs[r.Coord.Target]
+		if r.Err != "" {
+			cells[rf.cell].Ranked[rf.cand].SimulatedS = math.Inf(1)
+			continue
+		}
+		cells[rf.cell].Ranked[rf.cand].SimulatedS = r.Metrics["makespan_s"]
+	}
+
+	// Phase 3: decide. The simulated minimum wins each cell; the cell
+	// agrees when the closed-form favourite was (nearly) as good.
+	agreeCount := 0
+	for ci := range cells {
+		cell := &cells[ci]
+		best := 0
+		for k := range cell.Ranked {
+			if cell.Ranked[k].SimulatedS < cell.Ranked[best].SimulatedS {
+				best = k
+			}
+		}
+		cell.Winner = cell.Ranked[best]
+		cell.Agree = best == 0 ||
+			cell.Ranked[0].SimulatedS <= cell.Winner.SimulatedS*1.10
+		if cell.Agree {
+			agreeCount++
+		}
+	}
+
+	res := &Result{
+		Cells:      cells,
+		Agreement:  float64(agreeCount) / float64(len(cells)),
+		Candidates: len(opt.Candidates),
+		Outcome:    out,
+	}
+	for _, c := range cells {
+		res.Simulated += len(c.Ranked)
+	}
+	res.Table = buildTable(cfg, opt, n, cells)
+	if err := res.Table.Validate(); err != nil {
+		return nil, fmt.Errorf("autotune: built an invalid table: %w", err)
+	}
+	return res, nil
+}
+
+// buildTable folds the per-cell winners into a decision table: cell i
+// of an operation governs message sizes [size_i, size_i+1), with the
+// first range opened down to 0 and the last unbounded.
+func buildTable(cfg experiment.Config, opt Options, n int, cells []Cell) *tuned.Table {
+	tbl := &tuned.Table{
+		Version: tuned.TableVersion,
+		Root:    opt.Root,
+		Meta: &models.Meta{
+			Cluster: opt.ClusterName,
+			Nodes:   n,
+			Profile: cfg.Profile.Name,
+			Seed:    cfg.Seed,
+			Est:     "autotune",
+		},
+	}
+	for _, op := range opt.Ops {
+		var opCells []Cell
+		for _, c := range cells {
+			if c.Op == op {
+				opCells = append(opCells, c)
+			}
+		}
+		for i, c := range opCells {
+			min, max := c.M, 0
+			if i == 0 {
+				min = 0
+			}
+			if i+1 < len(opCells) {
+				max = opCells[i+1].M
+			}
+			rule := c.Winner.Candidate.rule(op, min, max)
+			rule.PredictedS = c.Winner.PredictedS
+			rule.SimulatedS = c.Winner.SimulatedS
+			tbl.Rules = append(tbl.Rules, rule)
+		}
+	}
+	return tbl
+}
+
+// Simulate measures one collective under a candidate shape in the
+// event simulator and returns the virtual-time makespan in seconds —
+// the ground truth the closed-form predictions are judged against.
+//
+// The collective repeats cfg.ObsReps times (minimum 1) back to back in
+// one simulated job and the makespan is the per-repetition mean: the
+// TCP escalations of the irregular region are probabilistic, so a
+// single draw misrepresents the expected cost the closed-form models
+// predict.
+func Simulate(cfg experiment.Config, op tuned.Op, c Candidate, root, m int) (float64, error) {
+	n := cfg.Cluster.N()
+	reps := cfg.ObsReps
+	if reps <= 0 {
+		reps = 1
+	}
+	var blocks [][]byte
+	if op == tuned.OpScatter {
+		blocks = make([][]byte, n)
+		for i := range blocks {
+			blocks[i] = make([]byte, m)
+		}
+	}
+	res, err := mpi.Run(mpi.Config{Cluster: cfg.Cluster, Profile: cfg.Profile, Seed: cfg.Seed},
+		func(r *mpi.Rank) {
+			for rep := 0; rep < reps; rep++ {
+				switch op {
+				case tuned.OpScatter:
+					optimize.ExecScatter(r, c.Alg, c.Degree, c.Segment, root, m, blocks)
+				case tuned.OpGather:
+					optimize.ExecGather(r, c.Alg, c.Degree, c.Segment, root, make([]byte, m))
+				}
+			}
+		})
+	if err != nil {
+		return 0, err
+	}
+	return res.Duration.Seconds() / float64(reps), nil
+}

@@ -1,0 +1,313 @@
+package autotune
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/models"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+	"repro/internal/tuned"
+)
+
+// lmoFor hand-builds an LMO model matching the homogeneous portion of
+// the simulator's defaults, with the LAM-style gather irregularity
+// attached so segmented candidates are predictable.
+func lmoFor(n int) *models.LMOX {
+	x := models.NewLMOX(n)
+	for i := 0; i < n; i++ {
+		x.C[i] = 5e-5
+		x.T[i] = 4e-9
+		for j := 0; j < n; j++ {
+			if i != j {
+				x.L[i][j] = 4e-5
+				x.Beta[i][j] = 1e8
+			}
+		}
+	}
+	// Prob is the per-operation escalation probability eq (5) uses:
+	// with the LAM profile's 0.8–5% per-flow odds compounded over 15
+	// concurrent flows, a scan observes roughly 10–50% of in-region
+	// gathers escalating.
+	x.Gather = models.GatherEmpirical{
+		M1: 4 << 10, M2: 65 << 10,
+		EscModes: []stats.Mode{{Value: 0.2, Count: 7}, {Value: 0.25, Count: 3}},
+		ProbLow:  0.1, ProbHigh: 0.5,
+	}
+	return x
+}
+
+func tuneCfg(n int) experiment.Config {
+	return experiment.Config{
+		Cluster: cluster.Table1().Prefix(n),
+		Profile: cluster.LAM(),
+		Seed:    7,
+		ObsReps: 10,
+	}
+}
+
+// The acceptance bar of the tuner: on the 16-node Table 1 cluster
+// under the LAM profile, the chosen gather shape at a large message
+// size inside the irregular region must beat the naive linear gather
+// by at least 5× simulated makespan, and the closed-form top-1 must
+// agree with the simulator ranking on at least 80% of cells.
+func TestTuneBeatsNaiveGatherAndAgrees(t *testing.T) {
+	cfg := tuneCfg(16)
+	res, err := Tune(context.Background(), cfg, lmoFor(16), Options{
+		MsgSizes:    TuneSizes(),
+		ClusterName: "table1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agreement < 0.8 {
+		t.Fatalf("closed-form/simulator agreement = %.2f, want >= 0.8", res.Agreement)
+	}
+	const big = 48 << 10
+	var cell *Cell
+	for i := range res.Cells {
+		if res.Cells[i].Op == tuned.OpGather && res.Cells[i].M == big {
+			cell = &res.Cells[i]
+		}
+	}
+	if cell == nil {
+		t.Fatalf("no gather cell at %d bytes", big)
+	}
+	naive, err := Simulate(cfg, tuned.OpGather, Candidate{Alg: mpi.Linear}, 0, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := naive / cell.Winner.SimulatedS
+	if speedup < 5 {
+		t.Fatalf("tuned gather at %dK: %.5fs vs naive %.5fs = %.1f×, want >= 5×",
+			big>>10, cell.Winner.SimulatedS, naive, speedup)
+	}
+	// The Fig 7 optimization — linear gather split into sub-M1
+	// segments — is in the candidate space and must itself clear the
+	// bar, whether or not a tree shape edged it out.
+	split, err := Simulate(cfg, tuned.OpGather, Candidate{Alg: mpi.Linear, Segment: 4 << 10}, 0, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive/split < 5 {
+		t.Fatalf("segmented linear gather at %dK: %.5fs vs naive %.5fs = %.1f×, want >= 5×",
+			big>>10, split, naive, naive/split)
+	}
+	// The decision table replays the winning cells.
+	rule, ok := res.Table.Lookup(tuned.OpGather, big)
+	if !ok || rule.String() != cell.Winner.Candidate.String() {
+		t.Fatalf("table rule at %dK = %+v, want %v", big>>10, rule, cell.Winner.Candidate)
+	}
+}
+
+// The emitted table must drive a tuned.Tuner end to end: rules parse,
+// ranges cover every probed size, and table-shaped collectives still
+// move correct bytes.
+func TestTuneTableDrivesTuner(t *testing.T) {
+	const n = 8
+	cfg := tuneCfg(n)
+	res, err := Tune(context.Background(), cfg, lmoFor(n), Options{
+		MsgSizes: []int{1 << 10, 16 << 10, 48 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.Table.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := tuned.UnmarshalTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := tuned.NewFromTable(tbl, nil, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := make([][]byte, n)
+	for i := range blocks {
+		blocks[i] = bytes.Repeat([]byte{byte(i + 1)}, 16<<10)
+	}
+	var rootOut [][]byte
+	_, err = mpi.Run(mpi.Config{Cluster: cfg.Cluster, Profile: cfg.Profile, Seed: 3}, func(r *mpi.Rank) {
+		mine := tuner.Scatter(r, 0, blocks)
+		if !bytes.Equal(mine, blocks[r.Rank()]) {
+			t.Errorf("rank %d: tuned scatter corrupted block", r.Rank())
+		}
+		out := tuner.Gather(r, 0, mine)
+		if r.Rank() == 0 {
+			rootOut = out
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range rootOut {
+		if !bytes.Equal(b, blocks[i]) {
+			t.Fatalf("tuned gather corrupted block %d", i)
+		}
+	}
+	if tuner.Stats().TableHits == 0 {
+		t.Fatal("tuner never consulted the table")
+	}
+}
+
+// Tuning is deterministic: the same inputs produce byte-identical
+// tables whatever the campaign parallelism, pinned by a golden file.
+// Run under -race -count=2 in CI's chaos job.
+func TestTuneDeterministic(t *testing.T) {
+	const n = 8
+	cfg := tuneCfg(n)
+	opt := Options{MsgSizes: []int{1 << 10, 8 << 10, 32 << 10}, ClusterName: "table1"}
+	first, err := Tune(context.Background(), cfg, lmoFor(n), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallel = 1
+	second, err := Tune(context.Background(), cfg, lmoFor(n), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := first.Table.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := second.Table.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("tuning is parallelism-dependent:\n%s\nvs\n%s", a, b)
+	}
+	golden := filepath.Join("testdata", "table1_8node.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Fatalf("table drifted from golden file (regenerate with UPDATE_GOLDEN=1 if intended):\n%s", a)
+	}
+}
+
+// The closed-form prune must discard exactly the out-of-top-k
+// candidates and keep the ranking sorted by prediction.
+func TestTunePrunesToTopK(t *testing.T) {
+	const n = 8
+	res, err := Tune(context.Background(), tuneCfg(n), lmoFor(n), Options{
+		MsgSizes: []int{8 << 10},
+		TopK:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := len(DefaultCandidates(lmoFor(n)))
+	for _, cell := range res.Cells {
+		if len(cell.Ranked) != 2 {
+			t.Fatalf("cell %s/%d kept %d candidates, want 2", cell.Op, cell.M, len(cell.Ranked))
+		}
+		if cell.Infeasible+cell.Pruned+len(cell.Ranked) != space {
+			t.Fatalf("cell %s/%d: %d infeasible + %d pruned + %d ranked != %d candidates",
+				cell.Op, cell.M, cell.Infeasible, cell.Pruned, len(cell.Ranked), space)
+		}
+		if cell.Ranked[0].PredictedS > cell.Ranked[1].PredictedS {
+			t.Fatalf("cell %s/%d ranking unsorted", cell.Op, cell.M)
+		}
+		if cell.Winner.SimulatedS <= 0 || math.IsInf(cell.Winner.SimulatedS, 1) {
+			t.Fatalf("cell %s/%d winner not simulated: %+v", cell.Op, cell.M, cell.Winner)
+		}
+	}
+}
+
+// A flat-only model (no tree capability) shrinks the feasible space
+// instead of failing the tune.
+func TestTuneWithFlatOnlyModel(t *testing.T) {
+	const n = 6
+	orig := models.NewLMO(n)
+	for i := 0; i < n; i++ {
+		orig.C()[i] = 5e-5
+		orig.T()[i] = 4e-9
+		for j := 0; j < n; j++ {
+			if i != j {
+				orig.Beta()[i][j] = 1e8
+			}
+		}
+	}
+	res, err := Tune(context.Background(), tuneCfg(n), orig, Options{MsgSizes: []int{4 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range res.Cells {
+		if cell.Infeasible == 0 {
+			t.Fatalf("flat-only model should find some candidates infeasible: %+v", cell)
+		}
+		switch cell.Winner.Candidate.Alg {
+		case mpi.Linear, mpi.Binomial:
+		default:
+			t.Fatalf("flat-only model picked unanswerable %v", cell.Winner.Candidate)
+		}
+	}
+}
+
+// SimPredictor answers the same vocabulary as the closed-form models
+// and matches Simulate exactly.
+func TestSimPredictor(t *testing.T) {
+	const n = 6
+	cfg := tuneCfg(n)
+	sp := NewSimPredictor(cfg)
+	if !sp.Capabilities().Simulates {
+		t.Fatal("SimPredictor must advertise Simulates")
+	}
+	q := models.Query{Coll: models.CollGather, Alg: mpi.Linear, N: n, M: 8 << 10, Segment: 2 << 10}
+	got, err := sp.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Simulate(cfg, tuned.OpGather, Candidate{Alg: mpi.Linear, Segment: 2 << 10}, 0, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Predict = %v, Simulate = %v", got, want)
+	}
+	if v := sp.P2P(0, 1, 1<<10); v <= 0 {
+		t.Fatalf("P2P = %v, want > 0", v)
+	}
+	if _, err := sp.Predict(models.Query{Coll: models.CollBcast, Alg: mpi.Linear, N: n, M: 1}); err == nil {
+		t.Fatal("bcast should be unsupported")
+	}
+	if _, err := sp.Predict(models.Query{Coll: models.CollGather, Alg: mpi.Linear, N: n + 1, M: 1}); err == nil {
+		t.Fatal("node-count mismatch should be rejected")
+	}
+}
+
+// The full experiment runner: estimation, tuning, report.
+func TestExperimentRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full estimation pipeline")
+	}
+	cfg := experiment.Config{Cluster: cluster.Table1().Prefix(8), Seed: 5}
+	rep, res, err := Experiment(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "tune" || len(rep.Tables) == 0 || len(rep.Tables[0].Rows) < 2 {
+		t.Fatalf("report malformed: %+v", rep)
+	}
+	if res.Table == nil || len(res.Table.Rules) == 0 {
+		t.Fatal("experiment produced no decision table")
+	}
+	if err := res.Table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

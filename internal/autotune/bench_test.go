@@ -1,0 +1,152 @@
+// Benchmarks for the auto-tuner's two cost centers: the closed-form
+// candidate prune (thousands of model queries, must be cheap) and the
+// end-to-end tune (prune + simulator validation through the campaign
+// engine).
+//
+// Regenerate the committed snapshot (BENCH_tune.json at the repository
+// root) with:
+//
+//	go test -run '^$' -bench . ./internal/autotune
+package autotune
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/tuned"
+)
+
+// BenchmarkTunePrune measures the closed-form pruning rate: how many
+// candidate (cell × shape) predictions per second the unified
+// predictor interface sustains. This bounds how large a candidate
+// space the tuner can afford before simulation even starts.
+func BenchmarkTunePrune(b *testing.B) {
+	const n = 16
+	model := lmoFor(n)
+	cands := DefaultCandidates(model)
+	sizes := TuneSizes()
+	colls := []models.Collective{models.CollScatter, models.CollGather}
+	queries := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, coll := range colls {
+			for _, m := range sizes {
+				for _, c := range cands {
+					if _, err := model.Predict(c.Query(coll, 0, n, m)); err == nil {
+						queries++
+					}
+				}
+			}
+		}
+	}
+	perSec := float64(len(colls)*len(sizes)*len(cands)*b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(perSec, "candidates/s")
+	recordBench("TunePrune", "closed-form candidate predictions per second", map[string]float64{
+		"candidates_per_sec": perSec,
+		"ns_per_candidate":   b.Elapsed().Seconds() / float64(len(colls)*len(sizes)*len(cands)*b.N) * 1e9,
+		"answerable":         float64(queries) / float64(b.N),
+	})
+}
+
+// BenchmarkTuneEndToEnd measures a complete tuning run — prune plus
+// campaign-driven simulator validation — on an 8-node cluster over a
+// three-size sweep, the shape served by one /tune job.
+func BenchmarkTuneEndToEnd(b *testing.B) {
+	const n = 8
+	cfg := tuneCfg(n)
+	model := lmoFor(n)
+	opt := Options{MsgSizes: []int{1 << 10, 8 << 10, 32 << 10}, ClusterName: "table1"}
+	var simulated int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Tune(context.Background(), cfg, model, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simulated = res.Simulated
+	}
+	secPerTune := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(secPerTune*1e3, "ms/tune")
+	recordBench("TuneEndToEnd", "full prune+validate tuning runs", map[string]float64{
+		"ms_per_tune":         secPerTune * 1e3,
+		"tunes_per_sec":       1 / secPerTune,
+		"validations":         float64(simulated),
+		"validations_per_sec": float64(simulated) / secPerTune,
+	})
+}
+
+// BenchmarkTableLookup measures the served read path: one decision
+// lookup in a realistic table.
+func BenchmarkTableLookup(b *testing.B) {
+	cfg := tuneCfg(8)
+	res, err := Tune(context.Background(), cfg, lmoFor(8), Options{MsgSizes: []int{1 << 10, 8 << 10, 32 << 10}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := res.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tbl.Lookup(tuned.OpGather, 48<<10); !ok {
+			b.Fatal("lookup missed")
+		}
+	}
+	perSec := float64(b.N) / b.Elapsed().Seconds()
+	recordBench("TableLookup", "decision-table lookups per second", map[string]float64{
+		"lookups_per_sec": perSec,
+		"ns_per_lookup":   b.Elapsed().Seconds() / float64(b.N) * 1e9,
+	})
+}
+
+// benchFigures accumulates figures; TestMain flushes BENCH_tune.json
+// at the repository root when benchmarks actually ran.
+var benchFigures []benchEntry
+
+type benchEntry struct {
+	Name    string             `json:"name"`
+	Unit    string             `json:"unit"`
+	Figures map[string]float64 `json:"figures"`
+}
+
+func recordBench(name, unit string, figures map[string]float64) {
+	for i := range benchFigures {
+		if benchFigures[i].Name == name {
+			benchFigures[i] = benchEntry{name, unit, figures}
+			return
+		}
+	}
+	benchFigures = append(benchFigures, benchEntry{name, unit, figures})
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if len(benchFigures) > 0 {
+		doc := struct {
+			Benchmark string       `json:"benchmark"`
+			Note      string       `json:"note"`
+			CPUs      int          `json:"cpus"`
+			Results   []benchEntry `json:"results"`
+		}{
+			Benchmark: "autotune (model-guided collective auto-tuning)",
+			Note: "prune: 18-shape candidate space x 16 cells on the 16-node Table I cluster; " +
+				"end-to-end: 8-node cluster, 3-size sweep, top-3 simulator validation via the campaign engine",
+			CPUs:    runtime.NumCPU(),
+			Results: benchFigures,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile("../../BENCH_tune.json", append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autotune bench: writing BENCH_tune.json: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}

@@ -42,6 +42,12 @@ const (
 	// "hethockney", "hockney", "logp", "plogp") and returns the
 	// estimated models plus parameter metrics.
 	Estimator TargetKind = "estimator"
+	// Custom marks a caller-defined unit of work: the grid supplies the
+	// coordinates and the Options.RunTask hook supplies the executor.
+	// Valid only when RunTask is set (the built-in executor has no
+	// meaning to attach to the ID). The auto-tuner uses this to
+	// validate candidate collective shapes in the event simulator.
+	Custom TargetKind = "custom"
 )
 
 // Target names one unit of work of the grid.
@@ -111,7 +117,9 @@ func (g Grid) Size() int {
 }
 
 // validate fails fast on an unusable grid, before any worker starts.
-func (g Grid) validate() error {
+// customOK reports whether a RunTask hook is installed, which Custom
+// targets require.
+func (g Grid) validate(customOK bool) error {
 	if len(g.Targets) == 0 {
 		return fmt.Errorf("campaign: grid has no targets")
 	}
@@ -124,6 +132,10 @@ func (g Grid) validate() error {
 		case Estimator:
 			if !knownEstimator(t.ID) {
 				return fmt.Errorf("campaign: unknown estimator %q (all, lmo, lmo5, hethockney, hockney, logp, plogp)", t.ID)
+			}
+		case Custom:
+			if !customOK {
+				return fmt.Errorf("campaign: custom target %q requires an Options.RunTask hook", t.ID)
 			}
 		default:
 			return fmt.Errorf("campaign: unknown target kind %q", t.Kind)
@@ -288,7 +300,7 @@ func Run(ctx context.Context, g Grid, o Options) (*Outcome, error) {
 	// shared across the pool's tasks (see Options.Obs).
 	g.Est.Obs = nil
 	g = g.withDefaults()
-	if err := g.validate(); err != nil {
+	if err := g.validate(o.RunTask != nil); err != nil {
 		return nil, err
 	}
 	if ctx == nil {

@@ -256,6 +256,40 @@ func TestStatsCounters(t *testing.T) {
 	}
 }
 
+// Custom targets are caller-defined work: valid only with a RunTask
+// hook installed, rejected up front otherwise.
+func TestCustomTargetsRequireRunTask(t *testing.T) {
+	g := smallGrid()
+	g.Targets = []Target{{Kind: Custom, ID: "gather/49152/linear+seg4096"}}
+	if _, err := Run(context.Background(), g, Options{}); err == nil || !strings.Contains(err.Error(), "RunTask") {
+		t.Fatalf("custom target without hook: err = %v", err)
+	}
+	out, err := Run(context.Background(), g, Options{
+		RunTask: func(_ Grid, tk Task) Result {
+			r := tk.NewResult()
+			r.Metrics = map[string]float64{"makespan_s": 0.5}
+			return r
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != g.Size() {
+		t.Fatalf("got %d results, want %d", len(out.Results), g.Size())
+	}
+	for _, r := range out.Results {
+		if r.Target.Kind != Custom || r.Metrics["makespan_s"] != 0.5 {
+			t.Fatalf("custom result corrupted: %+v", r)
+		}
+	}
+	// Direct use of the built-in executor fails loudly instead of
+	// returning an empty success.
+	r := runTask(g, Task{Target: Target{Kind: Custom, ID: "x"}, Cluster: g.Clusters[0], Profile: g.Profiles[0]})
+	if !strings.Contains(r.Err, "no executor") {
+		t.Fatalf("built-in executor on custom target: %+v", r)
+	}
+}
+
 // TestRunTaskHook checks the fault-injection seam: Options.RunTask
 // replaces the built-in executor for every task, and the engine's
 // panic capture and stats accounting wrap the hook exactly as they

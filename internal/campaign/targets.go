@@ -38,6 +38,10 @@ func runTask(g Grid, t Task) Result {
 		runExperiment(g, t, &r)
 	case Estimator:
 		runEstimator(g, t, &r)
+	case Custom:
+		// Unreachable through Run (validate requires a RunTask hook,
+		// which replaces this executor), but fail loudly for direct use.
+		r.Err = fmt.Sprintf("campaign: custom target %q has no executor", t.Target.ID)
 	}
 	return r
 }

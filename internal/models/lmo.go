@@ -188,6 +188,34 @@ func (x *LMOX) GatherLinearBand(root, n, m int) (low, high float64) {
 	}
 }
 
+// linearSegmented predicts the segmented flat collective the optimizer
+// executes (optimize.OptimizedGather/Scatter): ceil(m/seg) sub-ops run
+// back to back, but they pipeline through the root's serialized
+// per-message slots — segment k+1's processing starts while segment
+// k's wire and remote-end tail are still in flight, so each segment
+// contributes its serialized portion (root slots plus, for gather,
+// the eq 5 empirical terms) and only the largest tail lands on the
+// critical path once.
+func (x *LMOX) linearSegmented(coll Collective, root, n, m, seg int) float64 {
+	total, tailMax := 0.0, 0.0
+	for lo := 0; lo < m; lo += seg {
+		b := seg
+		if lo+b > m {
+			b = m - lo
+		}
+		var op float64
+		if coll == CollGather {
+			op = x.GatherLinear(root, n, b)
+		} else {
+			op = x.ScatterLinear(root, n, b)
+		}
+		tail := x.maxRemote(root, n, b)
+		total += op - tail
+		tailMax = math.Max(tailMax, tail)
+	}
+	return total + tailMax
+}
+
 func (x *LMOX) maxRemote(root, n, m int) float64 {
 	mx := 0.0
 	for i := 0; i < n; i++ {

@@ -16,10 +16,16 @@ import (
 	"repro/internal/collective"
 )
 
-// Predictor is the interface the experiment harness evaluates: a model
+// Predictor is the legacy per-algorithm prediction interface: a model
 // that can predict point-to-point and collective execution times. root
 // is the collective's root rank, n the number of participants, m the
 // block size in bytes.
+//
+// Deprecated: new code should use CollectivePredictor, whose single
+// Alg-keyed Predict replaces the per-algorithm method pairs; Adapt
+// lifts any Predictor onto it. The interface remains for the existing
+// model implementations and its wrappers are pinned equivalent by
+// tests.
 type Predictor interface {
 	Name() string
 	// P2P predicts one message of m bytes from src to dst.

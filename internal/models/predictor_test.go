@@ -1,0 +1,295 @@
+package models
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/stats"
+)
+
+// zoo builds one instance of every model in the zoo for n processors,
+// with an LMO irregularity region so the empirical gather branch is
+// exercised.
+func zoo(n int) []CollectivePredictor {
+	g, _ := stats.NewPWLinear([]float64{0, 1 << 16}, []float64{1e-5, 1e-3})
+	o, _ := stats.NewPWLinear([]float64{0}, []float64{5e-6})
+	het := NewHetHockney(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				het.Alpha[i][j] = 1e-4 + 1e-6*float64(i+j)
+				het.Beta[i][j] = 1e-8
+			}
+		}
+	}
+	x := buildLMOX(n)
+	x.Gather = GatherEmpirical{M1: 4 << 10, M2: 64 << 10,
+		EscModes: []stats.Mode{{Value: 0.05, Count: 3}}, ProbLow: 0.1, ProbHigh: 0.8}
+	orig := NewLMO(n)
+	for i := 0; i < n; i++ {
+		orig.C()[i] = 5e-5
+		orig.T()[i] = 3e-9
+		for j := 0; j < n; j++ {
+			if i != j {
+				orig.Beta()[i][j] = 1e8
+			}
+		}
+	}
+	orig.SetGather(GatherEmpirical{M1: 4 << 10, M2: 64 << 10,
+		EscModes: []stats.Mode{{Value: 0.05, Count: 3}}, ProbLow: 0.1, ProbHigh: 0.8})
+	return []CollectivePredictor{
+		&Hockney{Alpha: 1e-4, Beta: 1e-8},
+		het,
+		&LogP{L: 1e-4, O: 1e-5, G: 1e-5, W: 1024, P: n},
+		&LogGP{L: 1e-4, O: 1e-5, SmG: 5e-5, BigG: 1e-8, P: n},
+		&PLogP{L: 1e-4, OS: o, OR: o, G: g, P: n},
+		x,
+		orig,
+	}
+}
+
+// The headline equivalence: for every model, every operation and every
+// algorithm family, the unified Predict answers exactly what the
+// legacy per-algorithm methods answer. This is the contract that lets
+// the deprecated interfaces delegate without behavior change.
+func TestPredictMatchesLegacyMethods(t *testing.T) {
+	const n, root = 8, 2
+	sizes := []int{1, 1 << 10, 8 << 10, 48 << 10, 1 << 20} // spans the LMO irregular region
+	for _, p := range zoo(n) {
+		legacy, _ := p.(Predictor)
+		tp, hasTrees := p.(TreePredictor)
+		for _, m := range sizes {
+			check := func(coll Collective, alg collective.Alg, want float64) {
+				t.Helper()
+				got, err := p.Predict(Query{Coll: coll, Alg: alg, Root: root, N: n, M: m})
+				if err != nil {
+					t.Fatalf("%s: Predict(%v,%v,m=%d): %v", p.Name(), coll, alg, m, err)
+				}
+				if got != want {
+					t.Fatalf("%s: Predict(%v,%v,m=%d) = %v, legacy method = %v", p.Name(), coll, alg, m, got, want)
+				}
+			}
+			check(CollScatter, collective.AlgLinear, legacy.ScatterLinear(root, n, m))
+			check(CollGather, collective.AlgLinear, legacy.GatherLinear(root, n, m))
+			check(CollScatter, collective.AlgBinomial, legacy.ScatterBinomial(root, n, m))
+			check(CollGather, collective.AlgBinomial, legacy.GatherBinomial(root, n, m))
+			if !hasTrees {
+				continue
+			}
+			for _, alg := range collective.Algorithms() {
+				tree := alg.Tree(n, root)
+				// Linear and binomial scatter/gather resolve through the
+				// closed forms checked above; the structural tree shapes
+				// must match the tree methods.
+				if alg == collective.AlgBinary || alg == collective.AlgChain {
+					check(CollScatter, alg, tp.ScatterTree(tree, m))
+					check(CollGather, alg, tp.GatherTree(tree, m))
+				}
+				check(CollBcast, alg, tp.BcastTree(tree, m))
+				check(CollReduce, alg, tp.ReduceTree(tree, m))
+			}
+		}
+	}
+}
+
+// An explicit Query.Tree must answer exactly like the tree methods,
+// and a k-ary degree like the KAry constructor.
+func TestPredictTreeAndDegreeForms(t *testing.T) {
+	const n, root, m = 8, 0, 16 << 10
+	x := buildLMOX(n)
+	tree := collective.KAry(n, root, 4)
+	want := x.ScatterTree(tree, m)
+	got, err := x.Predict(Query{Coll: CollScatter, Alg: collective.AlgBinary, Degree: 4, Root: root, N: n, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("degree-4 scatter = %v, KAry tree method = %v", got, want)
+	}
+	got, err = x.Predict(Query{Coll: CollGather, Tree: tree, Root: root, N: n, M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want = x.GatherTree(tree, m); got != want {
+		t.Fatalf("explicit-tree gather = %v, tree method = %v", got, want)
+	}
+}
+
+// Segmented queries charge the pipelined series of their pieces: each
+// piece's serialized root slots add, the overlapped remote tail lands
+// on the critical path once — the cost shape of the optimizer's
+// segmented gather.
+func TestPredictSegmentedSumsPieces(t *testing.T) {
+	const n, root = 8, 0
+	x := buildLMOX(n)
+	x.Gather = GatherEmpirical{M1: 4 << 10, M2: 64 << 10,
+		EscModes: []stats.Mode{{Value: 0.05, Count: 1}}, ProbLow: 0.2, ProbHigh: 0.9}
+	m, seg := 10<<10, 4<<10
+	got, err := x.Predict(Query{Coll: CollGather, Alg: collective.AlgLinear, Root: root, N: n, M: m, Segment: seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two full segments and a 2K remainder: sum of the pieces minus the
+	// two tails that overlap the next piece's processing.
+	sum := 2*x.GatherLinear(root, n, seg) + x.GatherLinear(root, n, m-2*seg)
+	want := sum - x.maxRemote(root, n, seg) - x.maxRemote(root, n, m-2*seg)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("segmented gather = %v, pipelined pieces = %v", got, want)
+	}
+	if got >= sum {
+		t.Fatalf("pipelined segments %v should undercut back-to-back whole ops %v", got, sum)
+	}
+	// Splitting must dodge the irregular region: the segmented series of
+	// sub-M1 gathers beats the unsegmented mid-region prediction when the
+	// escalation cost dominates.
+	whole, _ := x.Predict(Query{Coll: CollGather, Alg: collective.AlgLinear, Root: root, N: n, M: 48 << 10})
+	split, _ := x.Predict(Query{Coll: CollGather, Alg: collective.AlgLinear, Root: root, N: n, M: 48 << 10, Segment: x.Gather.M1})
+	if split >= whole {
+		t.Fatalf("sub-M1 segmentation should beat the irregular region: split %v, whole %v", split, whole)
+	}
+	// Segment >= M is a no-op.
+	a, _ := x.Predict(Query{Coll: CollScatter, Alg: collective.AlgLinear, Root: root, N: n, M: 1 << 10, Segment: 1 << 20})
+	b, _ := x.Predict(Query{Coll: CollScatter, Alg: collective.AlgLinear, Root: root, N: n, M: 1 << 10})
+	if a != b {
+		t.Fatalf("oversized segment changed the prediction: %v vs %v", a, b)
+	}
+}
+
+// Invalid queries and out-of-capability queries fail with errors, not
+// panics or garbage.
+func TestPredictRejectsInvalidQueries(t *testing.T) {
+	x := buildLMOX(8)
+	bad := []Query{
+		{Coll: CollScatter, N: 0},
+		{Coll: CollScatter, N: 8, Root: 8},
+		{Coll: CollScatter, N: 8, M: -1},
+		{Coll: CollScatter, N: 8, Segment: -1},
+		{Coll: Collective(99), N: 8},
+		{Coll: CollScatter, N: 8, Degree: 1, Alg: collective.AlgBinary},
+		{Coll: CollScatter, N: 8, Degree: 3, Alg: collective.AlgChain},
+		{Coll: CollScatter, N: 4}, // wrong N for a per-node model
+		{Coll: CollScatter, N: 8, Tree: collective.Binomial(4, 0)},
+	}
+	for _, q := range bad {
+		if _, err := x.Predict(q); err == nil {
+			t.Fatalf("Predict(%+v) should fail", q)
+		}
+	}
+	// The original five-parameter model has no tree capability.
+	orig := NewLMO(8)
+	if _, err := orig.Predict(Query{Coll: CollScatter, Alg: collective.AlgBinary, N: 8}); err == nil {
+		t.Fatal("LMO-orig should reject binary-tree queries")
+	}
+	if _, err := orig.Predict(Query{Coll: CollBcast, Alg: collective.AlgLinear, N: 8}); err == nil {
+		t.Fatal("LMO-orig should reject bcast queries")
+	}
+	if _, err := orig.Predict(Query{Coll: CollGather, Alg: collective.AlgLinear, N: 8, M: 1 << 10}); err != nil {
+		t.Fatalf("LMO-orig linear gather should work: %v", err)
+	}
+}
+
+// Capabilities must agree with what Predict actually answers.
+func TestCapabilitiesMatchBehavior(t *testing.T) {
+	for _, p := range zoo(8) {
+		caps := p.Capabilities()
+		_, err := p.Predict(Query{Coll: CollScatter, Alg: collective.AlgChain, Root: 0, N: 8, M: 1024})
+		if caps.Trees && err != nil {
+			t.Fatalf("%s claims Trees but chain scatter failed: %v", p.Name(), err)
+		}
+		if !caps.Trees && err == nil {
+			t.Fatalf("%s denies Trees but answered a chain scatter", p.Name())
+		}
+		if caps.Simulates {
+			t.Fatalf("%s is a closed form and must not claim Simulates", p.Name())
+		}
+	}
+	x := buildLMOX(8)
+	if x.Capabilities().Irregular {
+		t.Fatal("LMOX without empirical gather params must not claim Irregular")
+	}
+	x.Gather = GatherEmpirical{M1: 1 << 10, M2: 1 << 16}
+	if !x.Capabilities().Irregular {
+		t.Fatal("LMOX with empirical gather params must claim Irregular")
+	}
+}
+
+// Adapt passes CollectivePredictors through, lifts TreePredictors, and
+// restricts flat-only Predictors.
+func TestAdapt(t *testing.T) {
+	x := buildLMOX(8)
+	if Adapt(x) != CollectivePredictor(x) {
+		t.Fatal("Adapt should pass an LMOX through unchanged")
+	}
+	flat := flatOnly{&Hockney{Alpha: 1e-4, Beta: 1e-8}}
+	a := Adapt(flat)
+	if a.Capabilities().Trees {
+		t.Fatal("a flat-only Predictor must not claim tree capability")
+	}
+	got, err := a.Predict(Query{Coll: CollScatter, Alg: collective.AlgLinear, Root: 0, N: 8, M: 2048})
+	if err != nil || got != flat.ScatterLinear(0, 8, 2048) {
+		t.Fatalf("adapted linear scatter = %v (%v)", got, err)
+	}
+	if _, err := a.Predict(Query{Coll: CollScatter, Alg: collective.AlgChain, Root: 0, N: 8, M: 2048}); err == nil {
+		t.Fatal("adapted flat-only model should reject chain queries")
+	}
+	treeOnlyAdapter := Adapt(treeOnly{buildLMOX(8)})
+	if !treeOnlyAdapter.Capabilities().Trees {
+		t.Fatal("a TreePredictor adapter must claim tree capability")
+	}
+	want := buildLMOX(8).ScatterTree(collective.AlgChain.Tree(8, 0), 2048)
+	got, err = treeOnlyAdapter.Predict(Query{Coll: CollScatter, Alg: collective.AlgChain, Root: 0, N: 8, M: 2048})
+	if err != nil || got != want {
+		t.Fatalf("adapted chain scatter = %v (%v), want %v", got, err, want)
+	}
+}
+
+// flatOnly hides everything but the legacy Predictor surface (an
+// embedded model would leak its promoted Predict into Adapt's type
+// switch, so the methods are spelled out).
+type flatOnly struct{ h *Hockney }
+
+func (f flatOnly) Name() string                           { return f.h.Name() }
+func (f flatOnly) P2P(src, dst, m int) float64            { return f.h.P2P(src, dst, m) }
+func (f flatOnly) ScatterLinear(root, n, m int) float64   { return f.h.ScatterLinear(root, n, m) }
+func (f flatOnly) GatherLinear(root, n, m int) float64    { return f.h.GatherLinear(root, n, m) }
+func (f flatOnly) ScatterBinomial(root, n, m int) float64 { return f.h.ScatterBinomial(root, n, m) }
+func (f flatOnly) GatherBinomial(root, n, m int) float64  { return f.h.GatherBinomial(root, n, m) }
+
+// treeOnly hides the unified surface of an LMOX, leaving TreePredictor.
+type treeOnly struct{ x *LMOX }
+
+func (t treeOnly) Name() string                                   { return t.x.Name() }
+func (t treeOnly) P2P(src, dst, m int) float64                    { return t.x.P2P(src, dst, m) }
+func (t treeOnly) ScatterLinear(root, n, m int) float64           { return t.x.ScatterLinear(root, n, m) }
+func (t treeOnly) GatherLinear(root, n, m int) float64            { return t.x.GatherLinear(root, n, m) }
+func (t treeOnly) ScatterBinomial(root, n, m int) float64         { return t.x.ScatterBinomial(root, n, m) }
+func (t treeOnly) GatherBinomial(root, n, m int) float64          { return t.x.GatherBinomial(root, n, m) }
+func (t treeOnly) ScatterTree(tr *collective.Tree, m int) float64 { return t.x.ScatterTree(tr, m) }
+func (t treeOnly) GatherTree(tr *collective.Tree, m int) float64  { return t.x.GatherTree(tr, m) }
+func (t treeOnly) BcastTree(tr *collective.Tree, m int) float64   { return t.x.BcastTree(tr, m) }
+func (t treeOnly) ReduceTree(tr *collective.Tree, m int) float64  { return t.x.ReduceTree(tr, m) }
+
+// The collective and algorithm vocabularies round-trip through their
+// string forms.
+func TestVocabularyRoundTrip(t *testing.T) {
+	for _, c := range []Collective{CollScatter, CollGather, CollBcast, CollReduce} {
+		got, err := ParseCollective(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseCollective(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCollective("allgather"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("ParseCollective should reject unknown ops, got %v", err)
+	}
+	for _, a := range collective.Algorithms() {
+		got, err := collective.ParseAlg(a.String())
+		if err != nil || got != a {
+			t.Fatalf("ParseAlg(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := collective.ParseAlg("ring"); err == nil {
+		t.Fatal("ParseAlg should reject unknown algorithms")
+	}
+}

@@ -1,16 +1,27 @@
 package models
 
-import "repro/internal/collective"
+import (
+	"math"
+
+	"repro/internal/collective"
+)
 
 // TreePredictor is a model able to predict collectives over arbitrary
 // communication trees (flat, binomial, binary, chain, or custom
 // mappings) — the capability behind algorithm selection across the
 // whole algorithm zoo and mapping optimization.
 //
-// ScatterTree and GatherTree are structural predictions: the empirical
-// irregularity parameters of linear gather (eq 5) apply only to
-// GatherLinear, because the escalations are a property of the flat
-// many-to-one pattern.
+// ScatterTree is a purely structural prediction. GatherTree is not:
+// the escalations of eq (5) are a property of any many-to-one fan-in,
+// not just the flat root's, so the LMO gather recursion charges the
+// empirical expectation at every contended parent (see LMOX.GatherTree).
+// The structural-only models (Hockney, LogP families) ignore the
+// irregularity by construction — they carry no empirical parameters.
+//
+// Deprecated: new code should use CollectivePredictor (Query.Tree and
+// Query.Degree carry the tree shapes); Adapt lifts any TreePredictor
+// onto it. The interface remains as the building block behind
+// predictTree and the deprecated optimizer entry points.
 type TreePredictor interface {
 	Predictor
 	// ScatterTree predicts a scatter of m-byte blocks over the tree.
@@ -147,9 +158,51 @@ func (x *LMOX) ScatterTree(tree *collective.Tree, m int) float64 {
 }
 
 // GatherTree implements TreePredictor: the up-tree critical path
-// mirrors the down-tree one under the separated model.
+// mirrors the down-tree one under the separated model, plus the
+// empirical irregularity of eq (5). Every interior parent with two or
+// more children is a many-to-one fan-in exactly like the flat gather
+// root, so its contended child flows carry the empirical branches:
+//
+//   - In the (M1, M2) region a flow may escalate. The scan measures
+//     Prob over the flat n-1-flow fan-in, so one flow's share is
+//     Prob(b)/(n-1)·MeanEscalation — which makes the flat tree's n-1
+//     edges sum back to the per-operation term GatherLinear charges.
+//     With rare escalations the expected delays of distinct flows
+//     add, so the charge lands on the parent's serialized slot.
+//   - At and above M2 the parent's ingress serializes the transfer
+//     itself (eq 5's sum branch): the flow's transmission time joins
+//     the serialized slot instead of overlapping with its siblings.
+//
+// Prob is zero outside (M1, M2) and single-child parents see no
+// contention (§III's escalations are a many-to-one phenomenon), so
+// regular flows keep the purely structural cost.
 func (x *LMOX) GatherTree(tree *collective.Tree, m int) float64 {
-	return treeSeparated(tree, scatterBytes(tree, m), x.RecvCost2, x.WireCostRev, x.SendCost2)
+	bytes := scatterBytes(tree, m)
+	g := x.Gather
+	perFlow := 0.0
+	if g.Valid() && x.N() > 2 {
+		perFlow = g.MeanEscalation() / float64(x.N()-1)
+	}
+	var up func(r int, cs []int) float64
+	up = func(r int, cs []int) float64 {
+		if len(cs) == 0 {
+			return 0
+		}
+		c := cs[0]
+		b := bytes(c)
+		slot := x.RecvCost2(r, b)
+		if g.Valid() && len(tree.Children[r]) > 1 {
+			if b >= g.M2 {
+				slot += float64(b) * x.invBeta(c, r)
+			} else {
+				slot += g.Prob(b) * perFlow
+			}
+		}
+		rest := up(r, cs[1:])
+		sub := x.WireCostRev(r, c, b) + x.SendCost2(c, b) + up(c, tree.Children[c])
+		return slot + math.Max(rest, sub)
+	}
+	return up(tree.Root, tree.Children[tree.Root])
 }
 
 // BcastTree implements TreePredictor.

@@ -7,52 +7,22 @@ import (
 	"repro/internal/obs"
 )
 
-// Alg selects a collective algorithm.
-type Alg int
+// Alg selects a collective algorithm. It is an alias of
+// collective.Alg — the type moved next to the tree constructors so the
+// model layer can key predictions by algorithm without importing the
+// simulator — and keeps its traditional constant names here.
+type Alg = collective.Alg
 
 // Collective algorithms implemented by this package.
 const (
-	Linear   Alg = iota // flat tree: the root talks to everyone directly
-	Binomial            // binomial tree, as in Fig 2
-	Binary              // balanced binary tree over contiguous ranges
-	Chain               // chain (pipeline) tree
+	Linear   = collective.AlgLinear   // flat tree: the root talks to everyone directly
+	Binomial = collective.AlgBinomial // binomial tree, as in Fig 2
+	Binary   = collective.AlgBinary   // balanced binary tree over contiguous ranges
+	Chain    = collective.AlgChain    // chain (pipeline) tree
 )
 
 // Algorithms lists every collective algorithm.
-func Algorithms() []Alg { return []Alg{Linear, Binomial, Binary, Chain} }
-
-// String returns the algorithm name.
-func (a Alg) String() string {
-	switch a {
-	case Linear:
-		return "linear"
-	case Binomial:
-		return "binomial"
-	case Binary:
-		return "binary"
-	case Chain:
-		return "chain"
-	default:
-		return fmt.Sprintf("Alg(%d)", int(a))
-	}
-}
-
-// Tree builds the communication tree the algorithm uses for n ranks
-// rooted at root.
-func (a Alg) Tree(n, root int) *collective.Tree {
-	switch a {
-	case Linear:
-		return collective.Flat(n, root)
-	case Binomial:
-		return collective.Binomial(n, root)
-	case Binary:
-		return collective.Binary(n, root)
-	case Chain:
-		return collective.Chain(n, root)
-	default:
-		panic(fmt.Sprintf("mpi: unknown algorithm %d", a))
-	}
-}
+func Algorithms() []Alg { return collective.Algorithms() }
 
 func (r *Rank) tree(alg Alg, root int) *collective.Tree {
 	return alg.Tree(r.w.n, root)
@@ -84,8 +54,25 @@ func (r *Rank) endColl(id obs.SpanID) {
 // treats the root's local copy as negligible).
 func (r *Rank) Scatter(alg Alg, root int, blocks [][]byte) []byte {
 	defer r.endColl(r.beginColl("scatter", alg.String()))
+	return r.scatterTree(r.tree(alg, root), blocks)
+}
+
+// ScatterTree distributes blocks over an explicit communication tree
+// rooted at tree.Root — the algorithm-agnostic form behind Scatter,
+// exported so tuners can run candidate tree shapes (k-ary degrees,
+// optimized mappings) that no named algorithm produces. The tree must
+// span exactly the job's ranks.
+func (r *Rank) ScatterTree(tree *collective.Tree, blocks [][]byte) []byte {
+	defer r.endColl(r.beginColl("scatter", "tree"))
+	if tree.N != r.w.n {
+		badInput("scatter", "tree spans %d ranks, job has %d", tree.N, r.w.n)
+	}
+	return r.scatterTree(tree, blocks)
+}
+
+func (r *Rank) scatterTree(tree *collective.Tree, blocks [][]byte) []byte {
 	tag := r.collTag(opScatter)
-	tree := r.tree(alg, root)
+	root := tree.Root
 	n := r.w.n
 	if n == 1 {
 		return blocks[root]
@@ -139,8 +126,23 @@ func concatRel(blocks [][]byte, tree *collective.Tree, c int) []byte {
 // rank; elsewhere it returns nil.
 func (r *Rank) Gather(alg Alg, root int, block []byte) [][]byte {
 	defer r.endColl(r.beginColl("gather", alg.String()))
+	return r.gatherTree(r.tree(alg, root), block)
+}
+
+// GatherTree collects equal-size blocks over an explicit communication
+// tree rooted at tree.Root — the algorithm-agnostic form behind
+// Gather, exported for the same tuner candidates as ScatterTree.
+func (r *Rank) GatherTree(tree *collective.Tree, block []byte) [][]byte {
+	defer r.endColl(r.beginColl("gather", "tree"))
+	if tree.N != r.w.n {
+		badInput("gather", "tree spans %d ranks, job has %d", tree.N, r.w.n)
+	}
+	return r.gatherTree(tree, block)
+}
+
+func (r *Rank) gatherTree(tree *collective.Tree, block []byte) [][]byte {
 	tag := r.collTag(opGather)
-	tree := r.tree(alg, root)
+	root := tree.Root
 	n := r.w.n
 	if n == 1 {
 		return [][]byte{append([]byte(nil), block...)}

@@ -1,0 +1,87 @@
+package optimize
+
+import (
+	"repro/internal/collective"
+	"repro/internal/mpi"
+)
+
+// execTree resolves the communication tree of a candidate shape: the
+// k-ary degree overrides the algorithm family the same way
+// models.Query.Degree does, so predicted and executed shapes line up.
+func execTree(r *mpi.Rank, alg mpi.Alg, degree, root int) *collective.Tree {
+	if degree >= 2 {
+		return collective.KAry(r.Size(), root, degree)
+	}
+	return alg.Tree(r.Size(), root)
+}
+
+// ExecScatter runs a scatter with a full candidate shape — algorithm
+// family, k-ary tree degree, and segmentation — the execution
+// counterpart of a models.Query. m is the per-rank block size, which
+// every rank must know (blocks is meaningful only at the root). A
+// segment in (0, m) splits the operation into ceil(m/segment)
+// back-to-back scatters; each rank returns its reassembled block.
+func ExecScatter(r *mpi.Rank, alg mpi.Alg, degree, segment, root, m int, blocks [][]byte) []byte {
+	one := func(bs [][]byte) []byte {
+		if degree >= 2 {
+			return r.ScatterTree(execTree(r, alg, degree, root), bs)
+		}
+		return r.Scatter(alg, root, bs)
+	}
+	if segment <= 0 || segment >= m {
+		return one(blocks)
+	}
+	var out []byte
+	for lo := 0; lo < m; lo += segment {
+		hi := lo + segment
+		if hi > m {
+			hi = m
+		}
+		var piece [][]byte
+		if r.Rank() == root {
+			piece = make([][]byte, len(blocks))
+			for i, b := range blocks {
+				piece[i] = b[lo:hi]
+			}
+		}
+		out = append(out, one(piece)...)
+	}
+	return out
+}
+
+// ExecGather runs a gather with a full candidate shape; it generalizes
+// OptimizedGather (linear, sub-M1 segments) to any algorithm family,
+// tree degree and segment size. The root gets the n reassembled
+// blocks, others nil.
+func ExecGather(r *mpi.Rank, alg mpi.Alg, degree, segment, root int, block []byte) [][]byte {
+	one := func(b []byte) [][]byte {
+		if degree >= 2 {
+			return r.GatherTree(execTree(r, alg, degree, root), b)
+		}
+		return r.Gather(alg, root, b)
+	}
+	m := len(block)
+	if segment <= 0 || segment >= m {
+		return one(block)
+	}
+	var out [][]byte
+	if r.Rank() == root {
+		out = make([][]byte, r.Size())
+		for i := range out {
+			out[i] = make([]byte, 0, m)
+		}
+	}
+	for lo := 0; lo < m; lo += segment {
+		hi := lo + segment
+		if hi > m {
+			hi = m
+		}
+		part := one(block[lo:hi])
+		if r.Rank() == root {
+			for i := range out {
+				out[i] = append(out[i], part[i]...)
+			}
+		}
+	}
+	return out
+}

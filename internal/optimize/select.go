@@ -7,67 +7,82 @@ import (
 	"repro/internal/mpi"
 )
 
-// SelectScatterAlgAmong picks the algorithm with the smallest predicted
-// scatter time among candidates (all four when candidates is nil),
-// using the model's tree predictions. It returns the chosen algorithm
-// and its predicted time.
-func SelectScatterAlgAmong(p models.TreePredictor, root, n, m int, candidates []mpi.Alg) (mpi.Alg, float64) {
-	return selectAmong(p, root, n, m, candidates, func(p models.TreePredictor, alg mpi.Alg) float64 {
-		if alg == mpi.Linear {
-			return p.ScatterLinear(root, n, m) // keep the flat-tree special form
-		}
-		return p.ScatterTree(alg.Tree(n, root), m)
-	})
-}
-
-// SelectGatherAlgAmong picks the algorithm with the smallest predicted
-// gather time among candidates (all four when candidates is nil).
-func SelectGatherAlgAmong(p models.TreePredictor, root, n, m int, candidates []mpi.Alg) (mpi.Alg, float64) {
-	return selectAmong(p, root, n, m, candidates, func(p models.TreePredictor, alg mpi.Alg) float64 {
-		if alg == mpi.Linear {
-			return p.GatherLinear(root, n, m) // includes the empirical branches
-		}
-		return p.GatherTree(alg.Tree(n, root), m)
-	})
-}
-
-func selectAmong(p models.TreePredictor, root, n, m int, candidates []mpi.Alg,
-	cost func(p models.TreePredictor, alg mpi.Alg) float64) (mpi.Alg, float64) {
+// SelectAlgAmong picks the algorithm with the smallest predicted time
+// for the collective among candidates (all four when candidates is
+// nil) on the unified predictor interface. Candidates the predictor
+// cannot answer (a flat-only model asked for a chain, say) are
+// skipped; when nothing resolves the first candidate is returned with
+// an infinite prediction. Ties keep the first candidate, so the
+// result is deterministic in the candidate order.
+func SelectAlgAmong(p models.CollectivePredictor, coll models.Collective, root, n, m int, candidates []mpi.Alg) (mpi.Alg, float64) {
 	if len(candidates) == 0 {
 		candidates = mpi.Algorithms()
 	}
 	best := candidates[0]
 	bestT := math.Inf(1)
 	for _, alg := range candidates {
-		if t := cost(p, alg); t < bestT {
+		t, err := p.Predict(models.Query{Coll: coll, Alg: alg, Root: root, N: n, M: m})
+		if err != nil {
+			continue
+		}
+		if t < bestT {
 			best, bestT = alg, t
 		}
 	}
 	return best, bestT
 }
 
-// BestScatterRoot returns the root rank minimizing the predicted
-// linear-scatter time — on a heterogeneous cluster the root pays
-// (n-1)(C_r + M·t_r), so rooting the operation at a fast processor
-// matters (the HeteroMPI-style optimization of [10]).
-func BestScatterRoot(p models.Predictor, n, m int) (root int, predicted float64) {
+// BestRoot returns the root rank minimizing the predicted time of the
+// linear (flat-tree) collective — on a heterogeneous cluster the root
+// pays (n-1)(C_r + M·t_r), so rooting the operation at a fast
+// processor matters (the HeteroMPI-style optimization of [10]).
+func BestRoot(p models.CollectivePredictor, coll models.Collective, n, m int) (root int, predicted float64) {
 	root, predicted = 0, math.Inf(1)
 	for r := 0; r < n; r++ {
-		if t := p.ScatterLinear(r, n, m); t < predicted {
+		t, err := p.Predict(models.Query{Coll: coll, Alg: mpi.Linear, Root: r, N: n, M: m})
+		if err != nil {
+			continue
+		}
+		if t < predicted {
 			root, predicted = r, t
 		}
 	}
 	return root, predicted
 }
 
+// SelectScatterAlgAmong picks the algorithm with the smallest
+// predicted scatter time among candidates (all four when candidates
+// is nil).
+//
+// Deprecated: use SelectAlgAmong with models.CollScatter; this
+// wrapper adapts the legacy interface and delegates.
+func SelectScatterAlgAmong(p models.TreePredictor, root, n, m int, candidates []mpi.Alg) (mpi.Alg, float64) {
+	return SelectAlgAmong(models.Adapt(p), models.CollScatter, root, n, m, candidates)
+}
+
+// SelectGatherAlgAmong picks the algorithm with the smallest predicted
+// gather time among candidates (all four when candidates is nil).
+//
+// Deprecated: use SelectAlgAmong with models.CollGather; this wrapper
+// adapts the legacy interface and delegates.
+func SelectGatherAlgAmong(p models.TreePredictor, root, n, m int, candidates []mpi.Alg) (mpi.Alg, float64) {
+	return SelectAlgAmong(models.Adapt(p), models.CollGather, root, n, m, candidates)
+}
+
+// BestScatterRoot returns the root rank minimizing the predicted
+// linear-scatter time.
+//
+// Deprecated: use BestRoot with models.CollScatter; this wrapper
+// adapts the legacy interface and delegates.
+func BestScatterRoot(p models.Predictor, n, m int) (root int, predicted float64) {
+	return BestRoot(models.Adapt(p), models.CollScatter, n, m)
+}
+
 // BestGatherRoot returns the root rank minimizing the predicted
 // linear-gather time.
+//
+// Deprecated: use BestRoot with models.CollGather; this wrapper
+// adapts the legacy interface and delegates.
 func BestGatherRoot(p models.Predictor, n, m int) (root int, predicted float64) {
-	root, predicted = 0, math.Inf(1)
-	for r := 0; r < n; r++ {
-		if t := p.GatherLinear(r, n, m); t < predicted {
-			root, predicted = r, t
-		}
-	}
-	return root, predicted
+	return BestRoot(models.Adapt(p), models.CollGather, n, m)
 }

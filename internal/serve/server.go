@@ -119,6 +119,7 @@ type Server struct {
 	ctx         context.Context
 	cancel      context.CancelFunc
 	reg         *Registry
+	tables      *tableStore
 	jobs        *Jobs
 	adm         *admission
 	metrics     *Metrics
@@ -157,6 +158,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.RetryAfter),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
+		tables:  newTableStore(),
 		cfg:     cfg,
 	}
 	s.reg = NewRegistry(cfg.Capacity, s.estimateKey, RegistryOptions{
@@ -183,6 +185,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	}
 	s.handle("/predict", "predict", s.withTimeout(s.handlePredict))
 	s.handle("/estimate", "estimate", s.withTimeout(s.handleEstimate))
+	s.handle("/tune", "tune", s.withTimeout(s.handleTune))
 	s.handle("/jobs", "jobs", s.handleJobs)
 	s.handle("/jobs/", "jobs", s.handleJobs)
 	s.handle("/models", "models", s.handleModels)

@@ -25,12 +25,18 @@ import (
 // consistent because it is read-mostly and the simulation kernel is
 // cooperatively scheduled; in a real MPI setting each process would
 // hold an identical copy of the model file).
+//
+// A Tuner built from an auto-tuned decision table (NewFromTable)
+// consults the table first: a matching rule fixes the full candidate
+// shape — algorithm, tree degree, segment size — and only sizes no
+// rule covers fall back to on-line model decisions.
 type Tuner struct {
-	model models.TreePredictor
+	model models.CollectivePredictor
 	lmo   *models.LMOX // non-nil when the model is an LMO: enables splitting
+	table *Table       // non-nil in table-driven mode
 	n     int
 
-	cache map[decisionKey]mpi.Alg
+	cache map[decisionKey]decision
 	stats Stats
 }
 
@@ -40,6 +46,7 @@ type Stats struct {
 	GatherCalls  int
 	Splits       int
 	CacheHits    int
+	TableHits    int
 	ByAlg        map[string]int
 }
 
@@ -49,9 +56,19 @@ type decisionKey struct {
 	bucket int // log2 size bucket
 }
 
-// New builds a tuner over any tree-capable model for an n-rank job.
-func New(model models.TreePredictor, n int) *Tuner {
-	t := &Tuner{model: model, n: n, cache: map[decisionKey]mpi.Alg{}}
+// decision is a resolved candidate shape: the algorithm family plus an
+// optional k-ary tree degree and segment size (0 each when unused).
+type decision struct {
+	alg     mpi.Alg
+	degree  int
+	segment int
+}
+
+// New builds a tuner over any model on the unified predictor interface
+// for an n-rank job. Legacy Predictor/TreePredictor implementations
+// can be lifted with models.Adapt.
+func New(model models.CollectivePredictor, n int) *Tuner {
+	t := &Tuner{model: model, n: n, cache: map[decisionKey]decision{}}
 	t.stats.ByAlg = map[string]int{}
 	if lmo, ok := model.(*models.LMOX); ok {
 		t.lmo = lmo
@@ -59,8 +76,37 @@ func New(model models.TreePredictor, n int) *Tuner {
 	return t
 }
 
-// Model returns the model driving the decisions.
-func (t *Tuner) Model() models.TreePredictor { return t.model }
+// NewFromTable builds a table-driven tuner: decisions come from the
+// auto-tuned table where it has rules, and from the model where it
+// does not. The model may be nil when the table covers every size the
+// program uses (uncovered sizes then fall back to linear).
+func NewFromTable(tbl *Table, model models.CollectivePredictor, n int) (*Tuner, error) {
+	if tbl == nil {
+		return nil, fmt.Errorf("tuned: nil decision table")
+	}
+	if err := tbl.Validate(); err != nil {
+		return nil, err
+	}
+	if tbl.Meta != nil && tbl.Meta.Nodes != 0 && tbl.Meta.Nodes != n {
+		return nil, fmt.Errorf("tuned: decision table was tuned for %d nodes, job has %d", tbl.Meta.Nodes, n)
+	}
+	var t *Tuner
+	if model != nil {
+		t = New(model, n)
+	} else {
+		t = &Tuner{n: n, cache: map[decisionKey]decision{}}
+		t.stats.ByAlg = map[string]int{}
+	}
+	t.table = tbl
+	return t, nil
+}
+
+// Model returns the model driving the fallback decisions (nil for a
+// purely table-driven tuner).
+func (t *Tuner) Model() models.CollectivePredictor { return t.model }
+
+// Table returns the decision table, if the tuner is table-driven.
+func (t *Tuner) Table() *Table { return t.table }
 
 // Stats returns a snapshot of the decision counters.
 func (t *Tuner) Stats() Stats {
@@ -83,31 +129,46 @@ func bucket(m int) int {
 	return bits.Len(uint(m))
 }
 
-// scatterAlg picks (and caches) the scatter algorithm for a size.
-func (t *Tuner) scatterAlg(root, m int) mpi.Alg {
-	key := decisionKey{'s', root, bucket(m)}
-	if alg, ok := t.cache[key]; ok {
-		t.stats.CacheHits++
-		return alg
+// tableDecision consults the decision table for a size. Table lookups
+// bypass the log2-bucket cache on purpose: a rule boundary can fall
+// inside a bucket, and two sizes sharing a bucket may land on
+// different rules.
+func (t *Tuner) tableDecision(op Op, m int) (decision, string, bool) {
+	if t.table == nil {
+		return decision{}, "", false
 	}
-	alg, _ := optimize.SelectScatterAlgAmong(t.model, root, t.n, m, nil)
-	t.cache[key] = alg
-	return alg
+	rule, ok := t.table.Lookup(op, m)
+	if !ok {
+		return decision{}, "", false
+	}
+	alg, err := rule.AlgValue()
+	if err != nil {
+		// Validate() rejects unparseable algs, so this is unreachable
+		// for tables built through NewFromTable; be safe anyway.
+		return decision{}, "", false
+	}
+	t.stats.TableHits++
+	return decision{alg: alg, degree: rule.Degree, segment: rule.Segment}, rule.String(), true
 }
 
-// gatherAlg picks (and caches) the gather algorithm for a size.
-func (t *Tuner) gatherAlg(root, m int) mpi.Alg {
-	key := decisionKey{'g', root, bucket(m)}
-	if alg, ok := t.cache[key]; ok {
+// decide picks (and caches) the algorithm for a size from the fallback
+// model.
+func (t *Tuner) decide(op byte, coll models.Collective, root, m int) decision {
+	key := decisionKey{op, root, bucket(m)}
+	if d, ok := t.cache[key]; ok {
 		t.stats.CacheHits++
-		return alg
+		return d
 	}
-	alg, _ := optimize.SelectGatherAlgAmong(t.model, root, t.n, m, nil)
-	t.cache[key] = alg
-	return alg
+	d := decision{alg: mpi.Linear}
+	if t.model != nil {
+		alg, _ := optimize.SelectAlgAmong(t.model, coll, root, t.n, m, nil)
+		d.alg = alg
+	}
+	t.cache[key] = d
+	return d
 }
 
-// Scatter distributes blocks with the model-chosen algorithm.
+// Scatter distributes blocks with the table- or model-chosen shape.
 func (t *Tuner) Scatter(r *mpi.Rank, root int, blocks [][]byte) []byte {
 	t.checkN(r)
 	m := 0
@@ -118,28 +179,39 @@ func (t *Tuner) Scatter(r *mpi.Rank, root int, blocks [][]byte) []byte {
 	// model-independent convention that scatter block sizes are global
 	// knowledge in SPMD code (as in MPI, where recvcount is an argument).
 	m = t.agreeSize(r, root, m)
-	alg := t.scatterAlg(root, m)
+	d, label, fromTable := t.tableDecision(OpScatter, m)
+	if !fromTable {
+		d = t.decide('s', models.CollScatter, root, m)
+		label = d.alg.String()
+	}
 	t.stats.ScatterCalls++
-	t.stats.ByAlg[alg.String()]++
-	return r.Scatter(alg, root, blocks)
+	t.stats.ByAlg[label]++
+	return optimize.ExecScatter(r, d.alg, d.degree, d.segment, root, m, blocks)
 }
 
-// Gather collects blocks with the model-chosen algorithm; when the
-// block size falls inside the LMO empirical irregularity region the
-// message is split into sub-M1 segments first (the Fig 7 optimization).
+// Gather collects blocks with the table- or model-chosen shape; with
+// no table rule, when the block size falls inside the LMO empirical
+// irregularity region the message is split into sub-M1 segments (the
+// Fig 7 optimization).
 func (t *Tuner) Gather(r *mpi.Rank, root int, block []byte) [][]byte {
 	t.checkN(r)
 	m := len(block)
+	t.stats.GatherCalls++
+	if d, label, ok := t.tableDecision(OpGather, m); ok {
+		if d.segment > 0 && d.segment < m {
+			t.stats.Splits++
+		}
+		t.stats.ByAlg[label]++
+		return optimize.ExecGather(r, d.alg, d.degree, d.segment, root, block)
+	}
 	if t.lmo != nil && optimize.ShouldSplitGather(t.lmo.Gather, m) {
-		t.stats.GatherCalls++
 		t.stats.Splits++
 		t.stats.ByAlg["split-linear"]++
 		return optimize.OptimizedGather(r, root, block, t.lmo.Gather)
 	}
-	alg := t.gatherAlg(root, m)
-	t.stats.GatherCalls++
-	t.stats.ByAlg[alg.String()]++
-	return r.Gather(alg, root, block)
+	d := t.decide('g', models.CollGather, root, m)
+	t.stats.ByAlg[d.alg.String()]++
+	return r.Gather(d.alg, root, block)
 }
 
 // agreeSize shares the root's block size with every rank at harness

@@ -215,6 +215,60 @@ func mkBlocks(n, bs int) [][]byte {
 	return out
 }
 
+// A table-driven tuner must execute the rule's full candidate shape —
+// algorithm, degree, segment — and still deliver correct data, while
+// sizes no rule covers fall back to the model path.
+func TestTunerFollowsDecisionTable(t *testing.T) {
+	const n = 8
+	tbl := &Table{
+		Root: 0,
+		Rules: []Rule{
+			{Op: OpScatter, MinBytes: 0, MaxBytes: 1 << 10, Alg: "binomial"},
+			{Op: OpScatter, MinBytes: 1 << 10, MaxBytes: 0, Alg: "binary", Degree: 4, Segment: 2 << 10},
+			{Op: OpGather, MinBytes: 0, MaxBytes: 32 << 10, Alg: "linear", Segment: 2 << 10},
+			// No gather rule above 32K: falls back to the model.
+		},
+	}
+	tuner, err := NewFromTable(tbl, lmoFor(n), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := mkBlocks(n, 8<<10)
+	var rootOut [][]byte
+	_, err = mpi.Run(homCfg(n), func(r *mpi.Rank) {
+		mine := tuner.Scatter(r, 0, blocks)
+		if !bytes.Equal(mine, blocks[r.Rank()]) {
+			t.Errorf("rank %d: table-shaped scatter corrupted block", r.Rank())
+		}
+		out := tuner.Gather(r, 0, mine)
+		if r.Rank() == 0 {
+			rootOut = out
+		}
+		tuner.Gather(r, 0, make([]byte, 64<<10)) // uncovered size
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range rootOut {
+		if !bytes.Equal(b, blocks[i]) {
+			t.Fatalf("table-shaped gather corrupted block %d", i)
+		}
+	}
+	st := tuner.Stats()
+	if st.TableHits != 2*n { // scatter + in-range gather, per rank
+		t.Fatalf("table hits = %d, want %d", st.TableHits, 2*n)
+	}
+	if st.ByAlg["binary/k=4+seg2048"] != n {
+		t.Fatalf("scatter rule label missing: %v", st.ByAlg)
+	}
+	if st.ByAlg["linear+seg2048"] != n {
+		t.Fatalf("gather rule label missing: %v", st.ByAlg)
+	}
+	if st.Splits != n {
+		t.Fatalf("splits = %d, want %d (segmented in-range gathers)", st.Splits, n)
+	}
+}
+
 // Integration: a tuner fed by an actual estimation on the simulated
 // cluster must behave identically to one fed ground-truth-like params.
 func TestTunerFromEstimatedModel(t *testing.T) {

@@ -109,11 +109,12 @@ type SamplingOption interface {
 	MeasureOption
 }
 
-// InstrumentOption attaches observability to both estimations and
-// plain runs.
+// InstrumentOption attaches observability to estimations, plain runs
+// and tuning runs.
 type InstrumentOption interface {
 	EstimateOption
 	RunOption
+	TuneOption
 }
 
 type repsOption struct{ min, max int }
@@ -201,6 +202,7 @@ type observerOption struct{ t *obs.Trace }
 
 func (o observerOption) applyEstimate(c *estimateConfig) { c.opt.Obs = o.t }
 func (o observerOption) applyRun(c *runConfig)           { c.obs = o.t }
+func (o observerOption) applyTune(c *tuneConfig)         { c.obs = o.t }
 
 // WithObserver attaches a span trace to the simulated universe: the
 // engine's event counters, the network's message/RTO/fault spans, the
